@@ -1,0 +1,83 @@
+// E9 — dispatch-policy ablation (beyond the paper).
+//
+// The paper's centralized manager always picks the geometrically closest
+// robot (§3.1) and robots serve FCFS. Under load (short lifetimes, bursty
+// Weibull wear-out) that piles tasks onto whichever robot sits nearest a
+// failure cluster while others idle. Queue-aware dispatch charges each
+// outstanding task one expected service leg; robots piggyback their backlog
+// on location updates. This bench compares repair latency under increasing
+// pressure.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "core/simulation.hpp"
+
+namespace {
+
+using sensrep::core::Algorithm;
+using sensrep::core::ExperimentResult;
+using sensrep::core::SimulationConfig;
+
+const ExperimentResult& run_cached(bool queue_aware, double mean_lifetime) {
+  static std::map<std::pair<bool, long long>, ExperimentResult> cache;
+  const auto key = std::make_pair(queue_aware, static_cast<long long>(mean_lifetime));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    SimulationConfig cfg;
+    cfg.algorithm = Algorithm::kCentralized;
+    cfg.robots = 9;
+    cfg.seed = 1;
+    cfg.sim_duration = 32000.0;
+    cfg.field.lifetime.mean = mean_lifetime;
+    cfg.queue_aware_dispatch = queue_aware;
+    sensrep::core::Simulation sim(cfg);
+    sim.run();
+    it = cache.emplace(key, sim.result()).first;
+  }
+  return it->second;
+}
+
+void BM_Dispatch(benchmark::State& state, bool queue_aware) {
+  const auto lifetime = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const auto& r = run_cached(queue_aware, lifetime);
+    state.counters["latency_p95_s"] = r.p95_repair_latency;
+    state.counters["latency_avg_s"] = r.avg_repair_latency;
+  }
+}
+
+void print_figure() {
+  std::puts("\n=== E9: closest-robot FCFS vs queue-aware dispatch (centralized, 9 robots) ===");
+  std::puts(
+      "mean_lifetime(s)  policy       repaired  latency_avg(s)  latency_p95(s)  travel(m)");
+  for (const double lifetime : {16000.0, 8000.0, 4000.0}) {
+    for (const bool qa : {false, true}) {
+      const auto& r = run_cached(qa, lifetime);
+      std::printf("%16.0f  %-11s  %8zu  %14.1f  %14.1f  %9.2f\n", lifetime,
+                  qa ? "queue-aware" : "closest", r.repaired, r.avg_repair_latency,
+                  r.p95_repair_latency, r.avg_travel_per_repair);
+    }
+  }
+  std::puts(
+      "finding: below saturation queue-aware cuts the latency tail (p95) markedly for\n"
+      "the same travel; past saturation (4000 s lifetimes) it backfires — distance\n"
+      "efficiency, not balance, bounds throughput when every robot is always busy");
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Dispatch, closest, false)
+    ->Arg(16000)->Arg(8000)->Arg(4000)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK_CAPTURE(BM_Dispatch, queue_aware, true)
+    ->Arg(16000)->Arg(8000)->Arg(4000)->Iterations(1)->Unit(benchmark::kSecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_figure();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E4 — partition-shape ablation for the fixed distributed algorithm.
+//
+// Paper §4.3.1: "we only show the results for the square partition method,
+// as other partition methods (e.g., hexagon partition) show negligible
+// difference in the overheads." This bench checks that claim: square vs
+// hexagon subareas at each robot count, motion + messaging side by side.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "core/simulation.hpp"
+
+namespace {
+
+using sensrep::core::Algorithm;
+using sensrep::core::ExperimentResult;
+using sensrep::core::PartitionShape;
+using sensrep::core::SimulationConfig;
+
+const ExperimentResult& run_cached(PartitionShape shape, std::size_t robots) {
+  static std::map<std::pair<PartitionShape, std::size_t>, ExperimentResult> cache;
+  const auto key = std::make_pair(shape, robots);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    SimulationConfig cfg;
+    cfg.algorithm = Algorithm::kFixedDistributed;
+    cfg.partition = shape;
+    cfg.robots = robots;
+    cfg.seed = 1;
+    cfg.sim_duration = 64000.0;
+    sensrep::core::Simulation sim(cfg);
+    sim.run();
+    it = cache.emplace(key, sim.result()).first;
+  }
+  return it->second;
+}
+
+void BM_Partition(benchmark::State& state, PartitionShape shape) {
+  const auto robots = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto& r = run_cached(shape, robots);
+    state.counters["travel_m_per_failure"] = r.avg_travel_per_repair;
+    state.counters["update_tx_per_failure"] = r.location_update_tx_per_repair;
+  }
+}
+
+void print_figure() {
+  std::puts("\n=== E4: fixed algorithm, square vs hexagon subareas ===");
+  std::puts("robots   square:travel  hex:travel   square:updtx  hex:updtx");
+  for (const std::size_t robots : {4u, 9u, 16u}) {
+    const auto& s = run_cached(PartitionShape::kSquare, robots);
+    const auto& h = run_cached(PartitionShape::kHexagon, robots);
+    std::printf("%6zu  %14.2f  %10.2f  %13.2f  %9.2f\n", robots,
+                s.avg_travel_per_repair, h.avg_travel_per_repair,
+                s.location_update_tx_per_repair, h.location_update_tx_per_repair);
+  }
+  std::puts("paper: negligible difference between partition shapes");
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Partition, square, PartitionShape::kSquare)
+    ->Arg(4)->Arg(9)->Arg(16)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK_CAPTURE(BM_Partition, hexagon, PartitionShape::kHexagon)
+    ->Arg(4)->Arg(9)->Arg(16)->Iterations(1)->Unit(benchmark::kSecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_figure();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E12 — anticipatory repositioning (beyond the paper).
+//
+// The paper's on-demand mobility model parks a robot wherever its last
+// repair ended (§4.1). Repositioning to the region centroid while idle
+// trades return-trip motion (energy) for shorter dispatch legs (repair
+// latency). This bench quantifies the trade for all three algorithms.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "core/simulation.hpp"
+
+namespace {
+
+using sensrep::core::Algorithm;
+using sensrep::core::ExperimentResult;
+using sensrep::core::SimulationConfig;
+
+const ExperimentResult& run_cached(Algorithm algo, bool reposition) {
+  static std::map<std::pair<Algorithm, bool>, ExperimentResult> cache;
+  const auto key = std::make_pair(algo, reposition);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    SimulationConfig cfg;
+    cfg.algorithm = algo;
+    cfg.robots = 9;
+    cfg.seed = 1;
+    cfg.sim_duration = 32000.0;
+    cfg.idle_reposition = reposition;
+    sensrep::core::Simulation sim(cfg);
+    sim.run();
+    it = cache.emplace(key, sim.result()).first;
+  }
+  return it->second;
+}
+
+void BM_Reposition(benchmark::State& state, Algorithm algo, bool reposition) {
+  for (auto _ : state) {
+    const auto& r = run_cached(algo, reposition);
+    state.counters["dispatch_travel_m"] = r.avg_travel_per_repair;
+    state.counters["total_motion_m"] = r.total_robot_distance;
+    state.counters["latency_avg_s"] = r.avg_repair_latency;
+  }
+}
+
+void print_figure() {
+  std::puts("\n=== E12: park-in-place (paper) vs idle repositioning, 9 robots ===");
+  std::puts(
+      "algorithm    idle-policy  dispatch_m/failure  latency_avg(s)  total_motion(m)  "
+      "motion_kJ");
+  for (const auto algo : {Algorithm::kCentralized, Algorithm::kFixedDistributed,
+                          Algorithm::kDynamicDistributed}) {
+    for (const bool reposition : {false, true}) {
+      const auto& r = run_cached(algo, reposition);
+      std::printf("%-11s  %-11s  %18.2f  %14.1f  %15.0f  %9.0f\n",
+                  std::string(to_string(algo)).c_str(),
+                  reposition ? "reposition" : "park",
+                  r.avg_travel_per_repair, r.avg_repair_latency, r.total_robot_distance,
+                  r.motion_energy_j / 1000.0);
+    }
+  }
+  std::puts(
+      "repositioning shortens the dispatch leg (and repair latency) at the price of\n"
+      "return-trip motion — worthwhile when response time matters more than battery");
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Reposition, centralized_park, Algorithm::kCentralized, false)
+    ->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK_CAPTURE(BM_Reposition, centralized_repo, Algorithm::kCentralized, true)
+    ->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK_CAPTURE(BM_Reposition, fixed_park, Algorithm::kFixedDistributed, false)
+    ->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK_CAPTURE(BM_Reposition, fixed_repo, Algorithm::kFixedDistributed, true)
+    ->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK_CAPTURE(BM_Reposition, dynamic_park, Algorithm::kDynamicDistributed, false)
+    ->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK_CAPTURE(BM_Reposition, dynamic_repo, Algorithm::kDynamicDistributed, true)
+    ->Iterations(1)->Unit(benchmark::kSecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_figure();
+  return 0;
+}

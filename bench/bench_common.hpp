@@ -1,0 +1,45 @@
+#pragma once
+
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench binary reproduces one artifact of the paper's evaluation
+// (§4.3): it sweeps the robot counts of the x-axis, runs the full
+// packet-level simulation at the paper's parameters, and prints the series
+// the figure plots, next to the paper's qualitative expectation. Absolute
+// numbers differ from the paper's GloMoSim testbed; the orderings and trends
+// are the reproduction target (see EXPERIMENTS.md).
+
+#include <map>
+#include <tuple>
+
+#include "core/simulation.hpp"
+
+namespace sensrep::bench {
+
+/// Paper §4.1 sweep: k^2 maintenance robots.
+inline constexpr std::size_t kRobotSweep[] = {4, 9, 16};
+
+/// One full paper-parameter run, memoized so the figure table and the
+/// google-benchmark timings reuse the same simulation.
+inline const core::ExperimentResult& run_cached(core::Algorithm algorithm,
+                                                std::size_t robots,
+                                                std::uint64_t seed = 1,
+                                                double duration = 64000.0) {
+  using Key = std::tuple<core::Algorithm, std::size_t, std::uint64_t, long long>;
+  static std::map<Key, core::ExperimentResult> cache;
+  const Key key{algorithm, robots, seed, static_cast<long long>(duration)};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    core::SimulationConfig cfg;
+    cfg.algorithm = algorithm;
+    cfg.robots = robots;
+    cfg.seed = seed;
+    cfg.sim_duration = duration;
+    core::Simulation sim(cfg);
+    sim.run();
+    it = cache.emplace(key, sim.result()).first;
+  }
+  return it->second;
+}
+
+}  // namespace sensrep::bench

@@ -1,0 +1,59 @@
+// Figure 2 — "The average robot traveling distance as a function of the
+// number of robots" (paper §4.3.1, motion overhead).
+//
+// Paper expectation: the dynamic and centralized algorithms track each other
+// closely; the fixed algorithm travels farther because a failure is served
+// by the subarea's robot even when a neighbor subarea's robot is closer
+// (~10.8% dynamic saving at 16 robots in the paper).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using sensrep::bench::kRobotSweep;
+using sensrep::bench::run_cached;
+using sensrep::core::Algorithm;
+
+void BM_Fig2(benchmark::State& state, Algorithm algorithm) {
+  const auto robots = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto& r = run_cached(algorithm, robots);
+    state.counters["travel_m_per_failure"] = r.avg_travel_per_repair;
+    state.counters["failures"] = static_cast<double>(r.failures);
+    state.counters["repaired"] = static_cast<double>(r.repaired);
+  }
+}
+
+void print_figure() {
+  std::puts("\n=== Figure 2: average robot traveling distance per failure (m) ===");
+  std::puts("robots  centralized     fixed   dynamic   dyn-vs-fixed");
+  for (const std::size_t robots : kRobotSweep) {
+    const double c = run_cached(Algorithm::kCentralized, robots).avg_travel_per_repair;
+    const double f = run_cached(Algorithm::kFixedDistributed, robots).avg_travel_per_repair;
+    const double d = run_cached(Algorithm::kDynamicDistributed, robots).avg_travel_per_repair;
+    std::printf("%6zu  %11.2f  %8.2f  %8.2f   %+9.1f%%\n", robots, c, f, d,
+                (d - f) / f * 100.0);
+  }
+  std::puts("paper: dynamic ~= centralized < fixed (dynamic saves ~10.8% vs fixed @16)");
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Fig2, centralized, Algorithm::kCentralized)
+    ->Arg(4)->Arg(9)->Arg(16)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK_CAPTURE(BM_Fig2, fixed, Algorithm::kFixedDistributed)
+    ->Arg(4)->Arg(9)->Arg(16)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK_CAPTURE(BM_Fig2, dynamic, Algorithm::kDynamicDistributed)
+    ->Arg(4)->Arg(9)->Arg(16)->Iterations(1)->Unit(benchmark::kSecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_figure();
+  return 0;
+}

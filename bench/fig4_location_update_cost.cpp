@@ -1,0 +1,62 @@
+// Figure 4 — "The average number of transmissions for location update per
+// failure" (paper §4.3.2, messaging overhead of robot location updates).
+//
+// Paper expectation: the centralized algorithm is cheap (a geo-routed
+// unicast to the manager plus a one-hop broadcast per 20 m leg); the two
+// distributed algorithms flood each update through the robot's subarea /
+// Voronoi cell, costing two orders of magnitude more, with dynamic slightly
+// above fixed (potential myrobot switchers in neighbor cells also relay).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using sensrep::bench::kRobotSweep;
+using sensrep::bench::run_cached;
+using sensrep::core::Algorithm;
+
+void BM_Fig4(benchmark::State& state, Algorithm algorithm) {
+  const auto robots = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto& r = run_cached(algorithm, robots);
+    state.counters["update_tx_per_failure"] = r.location_update_tx_per_repair;
+    state.counters["update_tx_total"] = static_cast<double>(
+        r.tx(sensrep::metrics::MessageCategory::kLocationUpdate));
+  }
+}
+
+void print_figure() {
+  std::puts(
+      "\n=== Figure 4: average number of transmissions for location update per failure ===");
+  std::puts("robots     dynamic       fixed  centralized");
+  for (const std::size_t robots : kRobotSweep) {
+    const auto& c = run_cached(Algorithm::kCentralized, robots);
+    const auto& f = run_cached(Algorithm::kFixedDistributed, robots);
+    const auto& d = run_cached(Algorithm::kDynamicDistributed, robots);
+    std::printf("%6zu  %10.2f  %10.2f  %11.2f\n", robots,
+                d.location_update_tx_per_repair, f.location_update_tx_per_repair,
+                c.location_update_tx_per_repair);
+  }
+  std::puts("paper: dynamic >= fixed >> centralized");
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Fig4, centralized, Algorithm::kCentralized)
+    ->Arg(4)->Arg(9)->Arg(16)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK_CAPTURE(BM_Fig4, fixed, Algorithm::kFixedDistributed)
+    ->Arg(4)->Arg(9)->Arg(16)->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK_CAPTURE(BM_Fig4, dynamic, Algorithm::kDynamicDistributed)
+    ->Arg(4)->Arg(9)->Arg(16)->Iterations(1)->Unit(benchmark::kSecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_figure();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Infrastructure microbenchmarks: event-queue and medium throughput.
+//
+// Not a paper artifact — this bench guards the substrate's performance so
+// the figure benches stay tractable (a 16-robot, 64000 s run executes tens
+// of millions of events).
+
+#include <benchmark/benchmark.h>
+
+#include "geometry/spatial_hash.hpp"
+#include "metrics/counters.hpp"
+#include "net/medium.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using sensrep::geometry::SpatialHash;
+using sensrep::geometry::Vec2;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sensrep::sim::Simulator sim;
+    long long sum = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.at(static_cast<double>(i % 97), [&sum, i] { sum += i; });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_PeriodicTimers(benchmark::State& state) {
+  const auto timers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sensrep::sim::Simulator sim;
+    long long ticks = 0;
+    for (int i = 0; i < timers; ++i) {
+      sim.every(10.0, [&ticks] { ++ticks; });
+    }
+    sim.run_until(1000.0);
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * timers * 100);
+}
+BENCHMARK(BM_PeriodicTimers)->Arg(100)->Arg(800);
+
+void BM_SpatialHashQuery(benchmark::State& state) {
+  sensrep::sim::Rng rng(1);
+  SpatialHash hash(63.0);
+  for (std::uint32_t i = 0; i < 800; ++i) {
+    hash.upsert(i, {rng.uniform(0, 800), rng.uniform(0, 800)});
+  }
+  std::size_t total = 0;
+  for (auto _ : state) {
+    const Vec2 q{rng.uniform(0, 800), rng.uniform(0, 800)};
+    total += hash.query_ball(q, 63.0).size();
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpatialHashQuery);
+
+void BM_MediumBroadcast(benchmark::State& state) {
+  sensrep::sim::Simulator sim;
+  sensrep::metrics::TransmissionCounters counters;
+  sensrep::net::Medium medium(sim, sensrep::sim::Rng(2), {}, counters, 63.0);
+  sensrep::sim::Rng rng(3);
+  int delivered = 0;
+  for (sensrep::net::NodeId i = 0; i < 400; ++i) {
+    medium.attach(i, {rng.uniform(0, 400), rng.uniform(0, 400)}, 63.0,
+                  [&delivered](const sensrep::net::Packet&, sensrep::net::NodeId) {
+                    ++delivered;
+                  });
+  }
+  sensrep::net::Packet pkt;
+  pkt.type = sensrep::net::PacketType::kBeacon;
+  pkt.dst = sensrep::net::kBroadcastId;
+  sensrep::net::NodeId sender = 0;
+  for (auto _ : state) {
+    medium.broadcast(sender, pkt);
+    sender = (sender + 1) % 400;
+    sim.run_all();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MediumBroadcast);
+
+}  // namespace
+
+BENCHMARK_MAIN();

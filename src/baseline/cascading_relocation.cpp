@@ -1,0 +1,186 @@
+#include "baseline/cascading_relocation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sensrep::baseline {
+
+using geometry::Vec2;
+
+CascadingRelocation::CascadingRelocation(std::vector<Vec2> positions, const Config& config,
+                                         sim::Rng rng)
+    : positions_(std::move(positions)), config_(config), rng_(rng) {
+  nodes_.reserve(positions_.size());
+  for (const Vec2 p : positions_) nodes_.push_back(Node{p, true, false});
+}
+
+void CascadingRelocation::designate_redundant(std::size_t count) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].alive && !nodes_[i].redundant) candidates.push_back(i);
+  }
+  rng_.shuffle(candidates);
+  const std::size_t n = std::min(count, candidates.size());
+  for (std::size_t i = 0; i < n; ++i) nodes_[candidates[i]].redundant = true;
+}
+
+void CascadingRelocation::set_redundant(std::size_t index, bool value) {
+  nodes_.at(index).redundant = value;
+}
+
+std::size_t CascadingRelocation::redundant_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const Node& n) { return n.alive && n.redundant; }));
+}
+
+std::optional<std::size_t> CascadingRelocation::nearest_redundant(Vec2 target) const {
+  std::optional<std::size_t> best;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (!n.alive || !n.redundant) continue;
+    const double d2 = geometry::distance2(n.pos, target);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+CascadingRelocation::Plan CascadingRelocation::heal_direct(std::size_t slot) {
+  assert(slot < nodes_.size());
+  nodes_[slot].alive = false;  // the unit in the hole is broken
+  const Vec2 hole = nodes_[slot].pos;
+  const auto r = nearest_redundant(hole);
+  if (!r) return {};
+  Plan plan;
+  plan.feasible = true;
+  plan.total_distance = geometry::distance(nodes_[*r].pos, hole);
+  plan.max_leg = plan.total_distance;
+  plan.makespan = plan.total_distance / config_.speed;
+  plan.moves = 1;
+  // The redundant unit drives to the hole and becomes its occupant; its old
+  // spot was surplus coverage and is simply vacated.
+  nodes_[*r].redundant = false;
+  nodes_[*r].pos = hole;
+  return plan;
+}
+
+std::vector<std::size_t> CascadingRelocation::build_chain(std::size_t from_idx,
+                                                          Vec2 target) const {
+  // Greedy geographic chain: from the redundant node, repeatedly step to the
+  // alive non-redundant node within max_link that is closest to the hole,
+  // until the hole is within one link. Mirrors Wang et al.'s grid cascade on
+  // an irregular layout.
+  std::vector<std::size_t> chain;
+  Vec2 cur = nodes_[from_idx].pos;
+  std::vector<bool> used(nodes_.size(), false);
+  used[from_idx] = true;
+  while (geometry::distance(cur, target) > config_.max_link) {
+    std::optional<std::size_t> next;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const Node& n = nodes_[i];
+      if (!n.alive || n.redundant || used[i]) continue;
+      if (geometry::distance(n.pos, cur) > config_.max_link) continue;
+      const double d2 = geometry::distance2(n.pos, target);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        next = i;
+      }
+    }
+    if (!next) return {};  // sparse gap: no chain, caller falls back to direct
+    // Progress guard: the chain must strictly approach the hole.
+    if (geometry::distance(nodes_[*next].pos, target) >= geometry::distance(cur, target)) {
+      return {};
+    }
+    chain.push_back(*next);
+    used[*next] = true;
+    cur = nodes_[*next].pos;
+  }
+  return chain;
+}
+
+CascadingRelocation::Plan CascadingRelocation::heal_cascading(std::size_t slot) {
+  assert(slot < nodes_.size());
+  nodes_[slot].alive = false;
+  const Vec2 hole = nodes_[slot].pos;
+  const auto r = nearest_redundant(hole);
+  if (!r) return {};
+
+  const auto chain = build_chain(*r, hole);
+  if (chain.empty()) {
+    // Within one link (or no viable chain): degenerate cascade == direct.
+    // Undo the kill flag bookkeeping done by heal_direct on re-entry.
+    nodes_[slot].alive = true;
+    return heal_direct(slot);
+  }
+
+  Plan plan;
+  plan.feasible = true;
+
+  // Every mover heads to its successor's *original* spot, concurrently:
+  //   r -> chain[0]'s spot, chain[i] -> chain[i+1]'s spot, chain.back() -> hole.
+  // Afterwards every original position is occupied except r's (surplus).
+  std::vector<Vec2> old_spots;
+  old_spots.reserve(chain.size());
+  for (const std::size_t link : chain) old_spots.push_back(nodes_[link].pos);
+
+  const auto move = [&](std::size_t unit, Vec2 to) {
+    const double leg = geometry::distance(nodes_[unit].pos, to);
+    plan.total_distance += leg;
+    plan.max_leg = std::max(plan.max_leg, leg);
+    plan.moves += 1;
+    nodes_[unit].pos = to;
+  };
+
+  // Back-to-front so each mover's source position is still its original one.
+  move(chain.back(), hole);
+  for (std::size_t i = chain.size() - 1; i > 0; --i) move(chain[i - 1], old_spots[i]);
+  move(*r, old_spots[0]);
+  nodes_[*r].redundant = false;
+
+  plan.makespan = plan.max_leg / config_.speed;
+  return plan;
+}
+
+CascadingRelocation::Totals CascadingRelocation::run_workload(
+    const std::vector<std::size_t>& failing_slots, Strategy strategy) {
+  Totals totals;
+  double makespan_sum = 0.0;
+  for (std::size_t slot : failing_slots) {
+    // A slot that failed before may have been refilled by a relocated unit;
+    // the failure then strikes whichever unit sits at that position now.
+    if (!nodes_[slot].alive) {
+      const Vec2 spot = positions_[slot];
+      std::optional<std::size_t> occupant;
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (!nodes_[i].alive) continue;
+        const double d2 = geometry::distance2(nodes_[i].pos, spot);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          occupant = i;
+        }
+      }
+      if (!occupant) continue;  // nothing left to fail
+      slot = *occupant;
+    }
+    ++totals.holes;
+    const Plan plan = strategy == Strategy::kDirect ? heal_direct(slot)
+                                                    : heal_cascading(slot);
+    if (!plan.feasible) continue;
+    ++totals.healed;
+    totals.total_distance += plan.total_distance;
+    totals.max_leg = std::max(totals.max_leg, plan.max_leg);
+    makespan_sum += plan.makespan;
+  }
+  totals.avg_makespan = totals.healed == 0 ? 0.0
+                                           : makespan_sum / static_cast<double>(totals.healed);
+  return totals;
+}
+
+}  // namespace sensrep::baseline

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "geometry/vec2.hpp"
+#include "sim/rng.hpp"
+
+namespace sensrep::baseline {
+
+/// Mobile-sensor relocation baseline, after Wang, Cao, La Porta & Zhang
+/// (INFOCOM'05) — the related-work approach the paper argues against: every
+/// sensor is mobile and redundant nodes relocate to fill coverage holes.
+///
+/// This module is an analytical motion model, not a packet-level protocol:
+/// the paper's comparison point (E5) is *motion energy*, so we compute, for
+/// the same failure workload the robot simulation serves, how far mobile
+/// sensors would drive under
+///   * direct relocation — the nearest redundant node drives to the hole;
+///   * cascading relocation — a chain of sensors between the redundant node
+///     and the hole each shift one link down the chain, so every individual
+///     move is short (bounded per-node energy) and moves run in parallel
+///     (bounded response time), at slightly higher total distance.
+class CascadingRelocation {
+ public:
+  struct Config {
+    /// Fraction of nodes that are redundant (available to fill holes).
+    double redundancy = 0.1;
+    /// Maximum single link length in a cascade chain (typically the
+    /// communication range; chain hops must be able to coordinate).
+    double max_link = 63.0;
+    double speed = 1.0;  // m/s, same class of mobility as the robots
+  };
+
+  /// Plan for filling one hole.
+  struct Plan {
+    bool feasible = false;        // a redundant node was available
+    double total_distance = 0.0;  // summed over all moving nodes (energy)
+    double max_leg = 0.0;         // longest single-node move (peak energy)
+    double makespan = 0.0;        // time to heal: moves execute in parallel
+    std::size_t moves = 0;        // number of nodes that moved
+  };
+
+  /// Aggregates over a workload of holes.
+  struct Totals {
+    double total_distance = 0.0;
+    double max_leg = 0.0;         // worst single-node move seen
+    double avg_makespan = 0.0;
+    std::size_t holes = 0;
+    std::size_t healed = 0;
+  };
+
+  CascadingRelocation(std::vector<geometry::Vec2> positions, const Config& config,
+                      sim::Rng rng);
+
+  /// Marks `count` random alive nodes redundant (they are spares, their
+  /// positions are surplus coverage).
+  void designate_redundant(std::size_t count);
+
+  /// Deterministically marks one node's redundancy (tests, crafted benches).
+  void set_redundant(std::size_t index, bool value = true);
+
+  [[nodiscard]] std::size_t redundant_count() const noexcept;
+
+  /// Heals the hole at node index `slot` by direct relocation of the nearest
+  /// redundant node. The redundant node is consumed.
+  Plan heal_direct(std::size_t slot);
+
+  /// Heals the hole by a cascading chain: redundant node r and chain
+  /// s1..sk with consecutive distance <= max_link; r -> s1's spot,
+  /// s1 -> s2's spot, ..., sk -> hole. The redundant node is consumed; all
+  /// other nodes keep existing (their positions shift one link).
+  Plan heal_cascading(std::size_t slot);
+
+  /// Runs a whole workload (list of failing slots, applied in order) with
+  /// the chosen strategy. Resets nothing: call on a fresh instance per run.
+  enum class Strategy { kDirect, kCascading };
+  Totals run_workload(const std::vector<std::size_t>& failing_slots, Strategy strategy);
+
+  [[nodiscard]] const std::vector<geometry::Vec2>& positions() const noexcept {
+    return positions_;
+  }
+
+ private:
+  struct Node {
+    geometry::Vec2 pos;
+    bool alive = true;
+    bool redundant = false;
+  };
+
+  /// Nearest redundant alive node to `target`; nullopt when none remain.
+  [[nodiscard]] std::optional<std::size_t> nearest_redundant(geometry::Vec2 target) const;
+
+  /// Chain of alive non-redundant nodes from `from_idx`'s position toward
+  /// `target`, each link <= max_link, ending within max_link of target.
+  /// Empty chain means direct move (already within one link).
+  [[nodiscard]] std::vector<std::size_t> build_chain(std::size_t from_idx,
+                                                     geometry::Vec2 target) const;
+
+  std::vector<geometry::Vec2> positions_;  // original layout (exposed)
+  std::vector<Node> nodes_;
+  Config config_;
+  sim::Rng rng_;
+};
+
+}  // namespace sensrep::baseline

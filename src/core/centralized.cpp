@@ -1,0 +1,192 @@
+#include "core/centralized.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "trace/log.hpp"
+
+namespace sensrep::core {
+
+using geometry::Vec2;
+using net::kBroadcastId;
+using net::kNoNode;
+using net::NodeId;
+using net::Packet;
+using net::PacketType;
+
+void CentralizedAlgorithm::initialize() {
+  manager_pos_ = config().field_area().center();
+  manager_ = std::make_unique<ManagerNode>(
+      config().manager_id(), manager_pos_, config().robot_tx_range, *ctx().simulator,
+      *ctx().medium, [this](const Packet& pkt) { handle_manager_packet(pkt); });
+
+  // Init message 1 (paper §3.1): the manager broadcasts its location to all
+  // sensors and robots — a network-wide flood in which every sensor relays
+  // once. Accounted; the observable outcome (everyone knows the manager's
+  // location) is supplied by report_target(), which never changes because
+  // the manager never moves.
+  ctx().medium->account(metrics::MessageCategory::kInitialization,
+                        1 + static_cast<std::uint64_t>(ctx().field->size()));
+  // Sensors within their own TX range of the manager can use it as a final
+  // forwarding hop; the flood above is how they learned it exists.
+  auto& field = *ctx().field;
+  for (std::size_t s = 0; s < field.size(); ++s) {
+    auto& sensor = field.node(static_cast<NodeId>(s));
+    if (geometry::distance(sensor.position(), manager_pos_) <=
+        config().field.sensor_tx_range) {
+      sensor.table().upsert(manager_->id(), manager_pos_);
+    }
+  }
+
+  // Init message 2: each maintenance robot unicasts its location to the
+  // manager (real geo-routed packets) and announces itself to its one-hop
+  // sensor neighbors (real broadcast).
+  for (std::size_t i = 0; i < robot_count(); ++i) {
+    auto& r = robot_at(i);
+    r.refresh_neighbor_table();
+
+    Packet to_manager;
+    to_manager.type = PacketType::kLocationAnnounce;
+    to_manager.dst = manager_->id();
+    to_manager.dst_location = manager_pos_;
+    to_manager.payload = net::LocationAnnouncePayload{r.position()};
+    r.router().send(std::move(to_manager));
+
+    Packet hello;
+    hello.type = PacketType::kLocationAnnounce;
+    hello.src = r.id();
+    hello.dst = kBroadcastId;
+    hello.payload = net::LocationAnnouncePayload{r.position()};
+    ctx().medium->broadcast(r.id(), hello);
+
+    // The manager's tracking map is also primed directly: losing a robot to
+    // an init packet drop would deadlock repairs, which the paper's model
+    // (reliable init) excludes.
+    robot_locations_[r.id()] = r.position();
+  }
+}
+
+std::optional<wsn::ReportTarget> CentralizedAlgorithm::report_target(
+    const wsn::SensorNode& /*sensor*/) const {
+  return wsn::ReportTarget{config().manager_id(), manager_pos_};
+}
+
+void CentralizedAlgorithm::on_location_update(wsn::SensorNode& sensor, const Packet& pkt,
+                                              NodeId /*from*/) {
+  // Centralized sensors track nearby robots only as routing next hops; they
+  // never relay (the manager is updated by unicast instead).
+  const auto& body = std::get<net::LocationUpdatePayload>(pkt.payload);
+  sensor.learn_robot(body.robot, body.robot_location, body.update_seq);
+}
+
+void CentralizedAlgorithm::on_sensor_reset(wsn::SensorNode& sensor) {
+  if (geometry::distance(sensor.position(), manager_pos_) <=
+      config().field.sensor_tx_range) {
+    sensor.table().upsert(manager_->id(), manager_pos_);
+  }
+}
+
+void CentralizedAlgorithm::on_robot_location_update(robot::RobotNode& robot) {
+  // One-hop broadcast so nearby sensors can deliver packets to the moving
+  // robot...
+  broadcast_location_update(robot);
+  // ...and a geo-routed unicast so the manager can keep dispatching to it.
+  Packet update;
+  update.type = PacketType::kLocationUpdate;
+  update.dst = manager_->id();
+  update.dst_location = manager_pos_;
+  update.payload =
+      net::LocationUpdatePayload{robot.id(), robot.position(), robot.current_update_seq()};
+  robot.router().send(std::move(update));
+}
+
+void CentralizedAlgorithm::on_robot_task_complete(robot::RobotNode& robot) {
+  // Under queue-aware dispatch the backlog value is load-bearing, so the
+  // robot refreshes the manager immediately after unloading; the plain
+  // paper algorithm relies on the movement-leg updates alone.
+  if (!config().queue_aware_dispatch) return;
+  Packet update;
+  update.type = PacketType::kLocationUpdate;
+  update.dst = manager_->id();
+  update.dst_location = manager_pos_;
+  const auto backlog =
+      static_cast<std::uint32_t>(robot.queue().size() + (robot.busy() ? 1 : 0));
+  update.payload = net::LocationUpdatePayload{robot.id(), robot.position(),
+                                              robot.current_update_seq(), backlog};
+  robot.router().send(std::move(update));
+}
+
+void CentralizedAlgorithm::handle_manager_packet(const Packet& pkt) {
+  switch (pkt.type) {
+    case PacketType::kLocationAnnounce:
+      robot_locations_[pkt.src] = std::get<net::LocationAnnouncePayload>(pkt.payload).location;
+      break;
+    case PacketType::kLocationUpdate: {
+      const auto& body = std::get<net::LocationUpdatePayload>(pkt.payload);
+      robot_locations_[body.robot] = body.robot_location;
+      robot_backlog_[body.robot] = body.queue_len;
+      break;
+    }
+    case PacketType::kFailureReport: {
+      record_report_arrival(pkt);
+      manager_->refresh_neighbor_table();
+      acknowledge_report(manager_->router(), pkt);
+      dispatch(std::get<net::FailureReportPayload>(pkt.payload));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void CentralizedAlgorithm::dispatch(const net::FailureReportPayload& failure) {
+  // Paper §3.1: "the manager selects the robot whose current location is the
+  // closest to the failure". With queue_aware_dispatch (extension E9) the
+  // score also charges each queued task one expected service leg, so a busy
+  // nearby robot loses to an idle slightly-farther one.
+  const double service_leg =
+      config().queue_aware_dispatch ? 0.5 * std::sqrt(config().area_per_robot) : 0.0;
+  NodeId best = kNoNode;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& [robot, loc] : robot_locations_) {
+    double score = geometry::distance(loc, failure.failed_location);
+    if (config().queue_aware_dispatch) {
+      const auto it = robot_backlog_.find(robot);
+      if (it != robot_backlog_.end()) score += service_leg * it->second;
+    }
+    if (score < best_score || (score == best_score && robot < best)) {
+      best_score = score;
+      best = robot;
+    }
+  }
+  if (best == kNoNode) {
+    trace::Logger::global().logf(trace::Level::kError, ctx().simulator->now(), "core",
+                                 "manager knows no robots; failure of %u stranded",
+                                 failure.failed_node);
+    return;
+  }
+  Packet request;
+  request.type = PacketType::kRepairRequest;
+  request.dst = best;
+  request.dst_location = robot_locations_[best];
+  request.payload =
+      net::RepairRequestPayload{failure.failed_node, failure.failed_location,
+                                failure.failure_id};
+  // Optimistic backlog bump so back-to-back reports spread across robots
+  // even before the next location update arrives.
+  robot_backlog_[best] += 1;
+  manager_->refresh_neighbor_table();
+  manager_->router().send(std::move(request));
+}
+
+void CentralizedAlgorithm::on_robot_packet(robot::RobotNode& robot, const Packet& pkt) {
+  if (pkt.type != PacketType::kRepairRequest) return;
+  const auto& body = std::get<net::RepairRequestPayload>(pkt.payload);
+  if (body.failure_id != 0) {
+    auto& rec = ctx().log->at(body.failure_id - 1);
+    if (rec.request_hops == 0) rec.request_hops = pkt.hops;
+  }
+  dispatch_to(robot, make_task(body.failed_node, body.failed_location, body.failure_id));
+}
+
+}  // namespace sensrep::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "core/coordination.hpp"
+#include "core/manager_node.hpp"
+
+namespace sensrep::core {
+
+/// Centralized manager algorithm (paper §3.1).
+///
+/// One dedicated, stationary robot-class manager sits at the field center.
+/// Every failure is reported to it; it forwards each failure to the
+/// maintenance robot whose last-known location is closest. Robots update the
+/// manager (geo-routed unicast) and their one-hop sensor neighborhood
+/// (broadcast) every 20 m of travel.
+class CentralizedAlgorithm final : public CoordinationAlgorithm {
+ public:
+  void initialize() override;
+
+  // SensorPolicy ------------------------------------------------------------
+  [[nodiscard]] std::optional<wsn::ReportTarget> report_target(
+      const wsn::SensorNode& sensor) const override;
+  void on_location_update(wsn::SensorNode& sensor, const net::Packet& pkt,
+                          net::NodeId from) override;
+  void on_sensor_reset(wsn::SensorNode& sensor) override;
+
+  // RobotPolicy ---------------------------------------------------------------
+  void on_robot_location_update(robot::RobotNode& robot) override;
+  void on_robot_packet(robot::RobotNode& robot, const net::Packet& pkt) override;
+  void on_robot_task_complete(robot::RobotNode& robot) override;
+
+  // Introspection (tests/examples) -------------------------------------------
+  [[nodiscard]] ManagerNode& manager() { return *manager_; }
+  [[nodiscard]] const std::unordered_map<net::NodeId, geometry::Vec2>& tracked_robots()
+      const noexcept {
+    return robot_locations_;
+  }
+
+ private:
+  void handle_manager_packet(const net::Packet& pkt);
+  void dispatch(const net::FailureReportPayload& failure);
+
+  std::unique_ptr<ManagerNode> manager_;
+  std::unordered_map<net::NodeId, geometry::Vec2> robot_locations_;
+  // Last backlog each robot reported, plus the manager's own optimistic
+  // increments between updates (queue-aware dispatch, E9).
+  std::unordered_map<net::NodeId, std::uint32_t> robot_backlog_;
+  geometry::Vec2 manager_pos_;
+};
+
+}  // namespace sensrep::core

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string_view>
+
+#include "geometry/rect.hpp"
+#include "net/medium.hpp"
+#include "net/node_id.hpp"
+#include "robot/energy.hpp"
+#include "wsn/sensor_field.hpp"
+
+namespace sensrep::core {
+
+/// The paper's three robot coordination algorithms (§3).
+enum class Algorithm {
+  kCentralized,
+  kFixedDistributed,
+  kDynamicDistributed,
+};
+
+[[nodiscard]] std::string_view to_string(Algorithm a) noexcept;
+
+/// Subarea shape for the fixed distributed algorithm (§4.3.1 reports the
+/// hexagon variant makes a negligible difference — ablation E4).
+enum class PartitionShape {
+  kSquare,
+  kHexagon,
+};
+
+[[nodiscard]] std::string_view to_string(PartitionShape p) noexcept;
+
+/// Full parameterization of one simulation run. Defaults are the paper's
+/// §4.1 settings.
+struct SimulationConfig {
+  std::uint64_t seed = 1;
+
+  Algorithm algorithm = Algorithm::kCentralized;
+
+  /// Number of maintenance robots (the paper sweeps k^2 in {4, 9, 16}; the
+  /// central manager, when present, is an additional dedicated node).
+  std::size_t robots = 4;
+
+  /// Field scaling: the area grows with the robot count so each robot is in
+  /// charge of `area_per_robot` and `sensors_per_robot` on average.
+  double area_per_robot = 200.0 * 200.0;  // m^2
+  std::size_t sensors_per_robot = 50;
+
+  double sim_duration = 64000.0;  // seconds
+
+  // Robot parameters (Pioneer 3DX speed; paper §4.1).
+  double robot_speed = 1.0;         // m/s
+  double robot_tx_range = 250.0;    // m (robots and manager)
+  double update_threshold = 20.0;   // m, < 1/3 sensor range
+
+  /// Spare sensor units per robot; the paper does not model restocking, so
+  /// the default is unlimited. With a finite count set `robot_depot`
+  /// (reload point) — or leave it empty to model a fleet that cannot repair
+  /// at all (the no-maintenance baseline of E11).
+  std::size_t robot_spares = std::numeric_limits<std::size_t>::max();
+  std::optional<geometry::Vec2> robot_depot;
+
+  // Fixed algorithm.
+  PartitionShape partition = PartitionShape::kSquare;
+
+  /// Dynamic algorithm: extra relay margin beyond the robot's new Voronoi
+  /// cell (paper Fig. 1b's shaded boundary band). Sensors of the old and new
+  /// cells always relay; the fringe hedges against stale cell knowledge at
+  /// the boundary. One update-threshold leg is a sufficient default — the
+  /// ablation bench sweeps this (E6 companion).
+  double dynamic_fringe = 20.0;
+
+  /// E6 ablation: self-pruning relay (Wu–Li style) — a sensor relays a flood
+  /// only if one of its neighbors was not already covered by the
+  /// transmission it heard.
+  bool efficient_broadcast = false;
+
+  /// Extension (E9): the centralized manager weighs each robot's reported
+  /// backlog into dispatch instead of picking the geometrically closest
+  /// robot (paper §3.1). Score = distance + queue_len * E[service leg].
+  /// Robots piggyback their queue length on location updates. No effect on
+  /// the distributed algorithms (the reporting sensor picks the robot).
+  bool queue_aware_dispatch = false;
+
+  /// Extension (E12): anticipatory repositioning. In the paper, an idle
+  /// robot waits wherever its last repair ended; with this flag it drives
+  /// back to the centroid of its responsibility region (subarea center for
+  /// fixed, Voronoi-cell centroid of the fleet's current positions
+  /// otherwise), trading return-trip motion for shorter dispatch legs.
+  bool idle_reposition = false;
+
+  wsn::FieldConfig field;   // sensor TX range, beacon period, lifetimes
+  net::RadioConfig radio;   // bitrate, jitter, loss
+  robot::EnergyModel energy;  // Pioneer-3DX-calibrated power draw
+
+  // --- derived -------------------------------------------------------------
+
+  /// Square field sized for the robot count: side = sqrt(area_per_robot * robots).
+  [[nodiscard]] geometry::Rect field_area() const noexcept;
+
+  [[nodiscard]] std::size_t sensor_count() const noexcept {
+    return sensors_per_robot * robots;
+  }
+
+  /// Sensor ids are [0, sensor_count); robots follow densely.
+  [[nodiscard]] net::NodeId robot_base_id() const noexcept {
+    return static_cast<net::NodeId>(sensor_count());
+  }
+
+  [[nodiscard]] net::NodeId robot_id(std::size_t index) const noexcept {
+    return robot_base_id() + static_cast<net::NodeId>(index);
+  }
+
+  /// Id of the central manager (only attached for kCentralized).
+  [[nodiscard]] net::NodeId manager_id() const noexcept {
+    return robot_base_id() + static_cast<net::NodeId>(robots);
+  }
+
+  /// Throws std::invalid_argument if any parameter is out of range.
+  void validate() const;
+};
+
+}  // namespace sensrep::core

@@ -1,0 +1,124 @@
+#include "core/coordination.hpp"
+
+#include "geometry/voronoi.hpp"
+
+#include "core/centralized.hpp"
+#include "core/dynamic_distributed.hpp"
+#include "core/fixed_distributed.hpp"
+
+namespace sensrep::core {
+
+using net::NodeId;
+using net::Packet;
+
+void CoordinationAlgorithm::record_report_arrival(const Packet& pkt) {
+  const auto& body = std::get<net::FailureReportPayload>(pkt.payload);
+  if (body.failure_id == 0) return;
+  auto& rec = ctx_.log->at(body.failure_id - 1);
+  if (!sim::is_valid_time(rec.reported_at)) {
+    rec.reported_at = ctx_.simulator->now();
+    rec.report_hops = pkt.hops;
+    if (event_log_) {
+      event_log_->record({ctx_.simulator->now(), trace::EventKind::kReport,
+                          body.failed_node, pkt.src, body.failed_location,
+                          static_cast<double>(pkt.hops)});
+    }
+  }
+}
+
+void CoordinationAlgorithm::acknowledge_report(routing::GeoRouter& router,
+                                               const net::Packet& report) {
+  if (!config().field.reliable_reports) return;
+  const auto& body = std::get<net::FailureReportPayload>(report.payload);
+  Packet ack;
+  ack.type = net::PacketType::kReportAck;
+  ack.dst = report.src;
+  ack.dst_location = body.reporter_location;
+  ack.payload = net::ReportAckPayload{body.failed_node};
+  router.send(std::move(ack));
+}
+
+void CoordinationAlgorithm::dispatch_to(robot::RobotNode& robot,
+                                        const robot::RepairTask& task) {
+  robot.enqueue(task);
+  if (event_log_) {
+    event_log_->record({ctx_.simulator->now(), trace::EventKind::kDispatch, task.slot,
+                        robot.id(), task.location,
+                        static_cast<double>(robot.queue().size())});
+  }
+}
+
+robot::RepairTask CoordinationAlgorithm::make_task(NodeId failed_slot,
+                                                   geometry::Vec2 failed_location,
+                                                   std::uint64_t failure_id) const {
+  robot::RepairTask task;
+  task.slot = failed_slot;
+  task.location = failed_location;
+  task.failure_id = failure_id;
+  task.enqueued_at = ctx_.simulator->now();
+  return task;
+}
+
+void CoordinationAlgorithm::broadcast_location_update(robot::RobotNode& robot, bool init) {
+  Packet pkt;
+  pkt.type = net::PacketType::kLocationUpdate;
+  pkt.src = robot.id();
+  pkt.dst = net::kBroadcastId;
+  const auto backlog =
+      static_cast<std::uint32_t>(robot.queue().size() + (robot.busy() ? 1 : 0));
+  pkt.payload = net::LocationUpdatePayload{robot.id(), robot.position(),
+                                           robot.next_update_seq(), backlog};
+  if (init) pkt.category_override = metrics::MessageCategory::kInitialization;
+  ctx_.medium->broadcast(robot.id(), pkt);
+  if (event_log_ && !init) {
+    event_log_->record({ctx_.simulator->now(), trace::EventKind::kRobotMove, robot.id(),
+                        std::nullopt, robot.position(), robot.odometer()});
+  }
+}
+
+geometry::Vec2 CoordinationAlgorithm::idle_home(const robot::RobotNode& robot) const {
+  std::vector<geometry::Vec2> sites;
+  sites.reserve(ctx_.robots->size());
+  for (const auto& r : *ctx_.robots) sites.push_back(r->position());
+  const geometry::VoronoiDiagram voronoi(sites, config().field_area());
+  const auto& cell = voronoi.cell(robot_index(robot.id()));
+  return cell.empty() ? robot.position() : cell.centroid();
+}
+
+void CoordinationAlgorithm::on_robot_idle(robot::RobotNode& robot) {
+  if (!config().idle_reposition) return;  // paper behavior: wait in place
+  const geometry::Vec2 home = idle_home(robot);
+  // A dead-band one update-leg wide prevents oscillating micro-returns
+  // (arrival at home re-triggers the idle hook).
+  if (geometry::distance(robot.position(), home) <= config().update_threshold) return;
+  robot.drive_to(home);
+}
+
+bool CoordinationAlgorithm::relay_adds_coverage(const wsn::SensorNode& sensor,
+                                                NodeId from) const {
+  const auto origin = sensor.table().position_of(from);
+  if (!origin) return true;  // unknown transmitter: relay conservatively
+  const double range = config().field.sensor_tx_range;
+  for (const auto& e : sensor.table().entries()) {
+    if (e.id == from) continue;
+    if (geometry::distance(e.pos, *origin) > range &&
+        geometry::distance(e.pos, sensor.position()) <= range) {
+      return true;  // this neighbor missed the heard transmission
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<CoordinationAlgorithm> make_algorithm(const SimulationConfig& config) {
+  switch (config.algorithm) {
+    case Algorithm::kCentralized:
+      return std::make_unique<CentralizedAlgorithm>();
+    case Algorithm::kFixedDistributed:
+      return std::make_unique<FixedDistributedAlgorithm>();
+    case Algorithm::kDynamicDistributed:
+      return std::make_unique<DynamicDistributedAlgorithm>();
+  }
+  throw std::invalid_argument("make_algorithm: unknown algorithm");
+}
+
+}  // namespace sensrep::core

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "metrics/failure_log.hpp"
+#include "net/medium.hpp"
+#include "robot/robot.hpp"
+#include "sim/simulator.hpp"
+#include "trace/event_log.hpp"
+#include "wsn/sensor_field.hpp"
+#include "wsn/sensor_policy.hpp"
+
+namespace sensrep::core {
+
+/// Everything a coordination algorithm needs to reach at runtime. All
+/// pointers are owned by the enclosing Simulation and outlive the algorithm.
+struct SystemContext {
+  sim::Simulator* simulator = nullptr;
+  net::Medium* medium = nullptr;
+  wsn::SensorField* field = nullptr;
+  metrics::FailureLog* log = nullptr;
+  std::vector<std::unique_ptr<robot::RobotNode>>* robots = nullptr;
+  const SimulationConfig* config = nullptr;
+};
+
+/// Base of the three coordination algorithms (paper §3).
+///
+/// An algorithm is simultaneously the SensorPolicy (sensor-side decisions)
+/// and the RobotPolicy (robot-side decisions); one shared instance serves
+/// every node in the simulation. Concrete subclasses: CentralizedAlgorithm,
+/// FixedDistributedAlgorithm, DynamicDistributedAlgorithm.
+class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolicy {
+ public:
+  /// Late-binds the runtime context (nodes are constructed after the policy,
+  /// which the SensorField constructor needs).
+  virtual void bind(const SystemContext& ctx) { ctx_ = ctx; }
+
+  /// Paper §2, stage (a): set up roles, manager knowledge, sensors' myrobot
+  /// relationships. Runs at t=0, before SensorField::start(). Initialization
+  /// traffic is counted under MessageCategory::kInitialization.
+  virtual void initialize() = 0;
+
+  /// Robot meters driven during initialization (the fixed algorithm moves
+  /// robots to subarea centers); excluded from the Fig.-2 metric.
+  [[nodiscard]] double init_motion() const noexcept { return init_motion_; }
+
+  /// Streams report/dispatch/robot-move events into `log` (nullptr
+  /// detaches). The log must outlive the algorithm.
+  void set_event_log(trace::EventLog* log) noexcept { event_log_ = log; }
+
+  /// RobotPolicy: anticipatory repositioning (config().idle_reposition,
+  /// extension E12) — an idle robot returns to its region's centroid.
+  void on_robot_idle(robot::RobotNode& robot) override;
+
+ protected:
+  [[nodiscard]] const SystemContext& ctx() const noexcept { return ctx_; }
+  [[nodiscard]] const SimulationConfig& config() const noexcept { return *ctx_.config; }
+  [[nodiscard]] robot::RobotNode& robot_at(std::size_t index) {
+    return *(*ctx_.robots)[index];
+  }
+  [[nodiscard]] std::size_t robot_count() const noexcept { return ctx_.robots->size(); }
+
+  /// Index of a robot from its node id; robots are densely numbered.
+  [[nodiscard]] std::size_t robot_index(net::NodeId id) const noexcept {
+    return id - config().robot_base_id();
+  }
+
+  /// Stamps reported_at / report_hops on the failure record named by a
+  /// delivered FailureReport.
+  void record_report_arrival(const net::Packet& pkt);
+
+  /// reliable_reports: geo-routes a kReportAck back to the reporter through
+  /// `router` (the receiving manager's or robot's). Acks every copy so a
+  /// retransmitted report whose first ack was lost still gets one.
+  void acknowledge_report(routing::GeoRouter& router, const net::Packet& report);
+
+  /// Builds the RepairTask for a delivered report/request payload.
+  [[nodiscard]] robot::RepairTask make_task(net::NodeId failed_slot,
+                                            geometry::Vec2 failed_location,
+                                            std::uint64_t failure_id) const;
+
+  /// Hands a task to its maintainer and records the dispatch event.
+  void dispatch_to(robot::RobotNode& robot, const robot::RepairTask& task);
+
+  /// Where an idle robot should wait. Default: the centroid of its Voronoi
+  /// cell over the fleet's current positions; the fixed algorithm overrides
+  /// with its subarea center.
+  [[nodiscard]] virtual geometry::Vec2 idle_home(const robot::RobotNode& robot) const;
+
+  /// Seeds a location-update flood / one-hop announce from a robot.
+  /// `init` books the transmissions as initialization cost.
+  void broadcast_location_update(robot::RobotNode& robot, bool init = false);
+
+  /// E6 self-pruning test: should `sensor` relay a flood it heard from
+  /// `from`, given every neighbor it could newly cover? True when relaying
+  /// adds coverage (or when the heard transmission's origin is unknown).
+  [[nodiscard]] bool relay_adds_coverage(const wsn::SensorNode& sensor,
+                                         net::NodeId from) const;
+
+  double init_motion_ = 0.0;
+  trace::EventLog* event_log_ = nullptr;
+
+ private:
+  SystemContext ctx_;
+};
+
+/// Factory for the algorithm selected in the config.
+[[nodiscard]] std::unique_ptr<CoordinationAlgorithm> make_algorithm(
+    const SimulationConfig& config);
+
+}  // namespace sensrep::core

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/manager_node.hpp"
+#include "core/simulation.hpp"
+#include "metrics/timeline.hpp"
+
+namespace sensrep::core {
+
+/// The sensing-data workload — the service the network exists to provide.
+///
+/// The paper motivates replacement by continuity of sensing (§1: "Sensor
+/// replacement is important for sensor networks to provide continuous
+/// sensing services"), but never measures the service itself. This module
+/// closes that loop: every alive sensor geo-routes a periodic sensing report
+/// to a sink at the field center, and the *data yield* (delivered /
+/// generated) quantifies what robot maintenance actually buys — compare a
+/// healthy fleet against one with no spares (E11).
+class DataCollection {
+ public:
+  struct Config {
+    double report_period = 60.0;  // per-sensor sample interval, seconds
+    /// Sink re-announces itself to one-hop sensors at this interval so
+    /// replacement units near the sink re-learn the final-hop link.
+    double sink_announce_period = 100.0;
+  };
+
+  /// Attaches a sink node and starts per-sensor reporting timers (phase-
+  /// staggered from the simulation's seed). The simulation must outlive
+  /// this object. Call before Simulation::run().
+  DataCollection(Simulation& simulation, const Config& config);
+
+  DataCollection(const DataCollection&) = delete;
+  DataCollection& operator=(const DataCollection&) = delete;
+
+  [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+
+  /// Fraction of generated reports that reached the sink so far.
+  [[nodiscard]] double yield() const noexcept {
+    return generated_ == 0
+               ? 1.0
+               : static_cast<double>(delivered_) / static_cast<double>(generated_);
+  }
+
+  /// Per-window yield: delivered/generated within each sampling window of
+  /// `window` seconds, recorded as a TimeSeries (for plotting decay/recovery).
+  void sample_yield_every(double window);
+  [[nodiscard]] const metrics::TimeSeries& yield_timeline() const noexcept {
+    return yield_series_;
+  }
+
+  [[nodiscard]] net::NodeId sink_id() const noexcept { return sink_->id(); }
+
+ private:
+  void start_sensor_timer(net::NodeId sensor);
+  void generate_report(net::NodeId sensor);
+  void refresh_sink_neighbors();
+
+  Simulation* sim_;
+  Config config_;
+  std::unique_ptr<ManagerNode> sink_;
+  sim::Rng rng_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t window_generated_ = 0;
+  std::uint64_t window_delivered_ = 0;
+  std::uint32_t sample_seq_ = 0;
+  metrics::TimeSeries yield_series_;
+};
+
+}  // namespace sensrep::core

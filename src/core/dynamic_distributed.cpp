@@ -1,0 +1,105 @@
+#include "core/dynamic_distributed.hpp"
+
+#include "trace/log.hpp"
+
+namespace sensrep::core {
+
+using net::kNoNode;
+using net::NodeId;
+using net::Packet;
+using net::PacketType;
+
+void DynamicDistributedAlgorithm::initialize() {
+  // Robots stay at their deployment positions and flood their locations.
+  // The relay rule lets the first floods travel wide (sensors with no
+  // myrobot yet always relay), then narrows as knowledge accumulates, so
+  // the field converges to the Voronoi assignment.
+  for (std::size_t i = 0; i < robot_count(); ++i) {
+    broadcast_location_update(robot_at(i), /*init=*/true);
+  }
+
+  // Defensive sweep shortly after the init floods settle: any sensor left
+  // without a manager (a flood hole) queries a neighbor for the nearest
+  // robot — two counted messages each. The paper assumes init is complete;
+  // this keeps that assumption checkable instead of silent.
+  ctx().simulator->in(5.0, [this] {
+    auto& field = *ctx().field;
+    for (std::size_t s = 0; s < field.size(); ++s) {
+      auto& sensor = field.node(static_cast<NodeId>(s));
+      if (!sensor.alive() || sensor.myrobot() != kNoNode) continue;
+      NodeId best = kNoNode;
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < robot_count(); ++i) {
+        const double d2 =
+            geometry::distance2(sensor.position(), robot_at(i).position());
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = robot_at(i).id();
+        }
+      }
+      if (best == kNoNode) continue;
+      sensor.learn_robot(best, robot_at(robot_index(best)).position(), 1);
+      sensor.set_myrobot(best);
+      ctx().medium->account(metrics::MessageCategory::kInitialization, 2);
+      trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "core",
+                                   "dynamic init: sensor %u missed the floods, assigned %u",
+                                   sensor.id(), best);
+    }
+  });
+}
+
+std::optional<wsn::ReportTarget> DynamicDistributedAlgorithm::report_target(
+    const wsn::SensorNode& sensor) const {
+  const NodeId robot = sensor.myrobot();
+  if (robot == kNoNode) return std::nullopt;
+  const auto* knowledge = sensor.find_robot(robot);
+  if (knowledge == nullptr) return std::nullopt;
+  return wsn::ReportTarget{robot, knowledge->location};
+}
+
+void DynamicDistributedAlgorithm::on_location_update(wsn::SensorNode& sensor,
+                                                     const Packet& pkt, NodeId from) {
+  const auto& body = std::get<net::LocationUpdatePayload>(pkt.payload);
+  const NodeId previous_myrobot = sensor.myrobot();
+  const bool fresh = sensor.learn_robot(body.robot, body.robot_location, body.update_seq);
+
+  // Adopt the closest known robot as manager (Voronoi membership).
+  if (const auto closest = sensor.closest_known_robot()) sensor.set_myrobot(*closest);
+
+  if (!fresh) return;
+  if (sensor.already_relayed(body.robot, body.update_seq)) return;
+
+  // Relay scope (paper §3.3): the robot's previous cell (so members can
+  // switch away), plus everyone within `fringe` of preferring the robot's
+  // new location (the potential switchers of Fig. 1b).
+  bool relay = previous_myrobot == body.robot || previous_myrobot == kNoNode;
+  if (!relay) {
+    const auto* mine = sensor.find_robot(sensor.myrobot());
+    relay = mine == nullptr ||
+            geometry::distance(sensor.position(), body.robot_location) <=
+                geometry::distance(sensor.position(), mine->location) +
+                    config().dynamic_fringe;
+  }
+  if (relay && config().efficient_broadcast && !relay_adds_coverage(sensor, from)) {
+    relay = false;
+  }
+  if (relay) {
+    sensor.mark_relayed(body.robot, body.update_seq);
+    sensor.relay(pkt);
+  }
+}
+
+void DynamicDistributedAlgorithm::on_robot_location_update(robot::RobotNode& robot) {
+  broadcast_location_update(robot);  // flood seed; scoped relays follow
+}
+
+void DynamicDistributedAlgorithm::on_robot_packet(robot::RobotNode& robot,
+                                                  const Packet& pkt) {
+  if (pkt.type != PacketType::kFailureReport) return;
+  record_report_arrival(pkt);
+  acknowledge_report(robot.router(), pkt);
+  const auto& body = std::get<net::FailureReportPayload>(pkt.payload);
+  dispatch_to(robot, make_task(body.failed_node, body.failed_location, body.failure_id));
+}
+
+}  // namespace sensrep::core

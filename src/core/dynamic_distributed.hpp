@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/coordination.hpp"
+
+namespace sensrep::core {
+
+/// Dynamic distributed manager algorithm (paper §3.3).
+///
+/// No fixed boundaries: each sensor reports to the *closest* robot it knows
+/// of, so the robots implicitly partition the field as a Voronoi diagram
+/// that shifts as they move. A moving robot's location updates are flooded
+/// to its (new) Voronoi cell plus a fringe of sensors that may need to
+/// switch their `myrobot` — the shaded region of the paper's Fig. 1(b) —
+/// and to the sensors of its previous cell so they can switch away.
+class DynamicDistributedAlgorithm final : public CoordinationAlgorithm {
+ public:
+  void initialize() override;
+
+  // SensorPolicy ------------------------------------------------------------
+  [[nodiscard]] std::optional<wsn::ReportTarget> report_target(
+      const wsn::SensorNode& sensor) const override;
+  void on_location_update(wsn::SensorNode& sensor, const net::Packet& pkt,
+                          net::NodeId from) override;
+
+  // RobotPolicy ---------------------------------------------------------------
+  void on_robot_location_update(robot::RobotNode& robot) override;
+  void on_robot_packet(robot::RobotNode& robot, const net::Packet& pkt) override;
+};
+
+}  // namespace sensrep::core

@@ -1,0 +1,80 @@
+#include "core/fixed_distributed.hpp"
+
+namespace sensrep::core {
+
+using geometry::Vec2;
+using net::NodeId;
+using net::Packet;
+using net::PacketType;
+
+void FixedDistributedAlgorithm::bind(const SystemContext& system_ctx) {
+  CoordinationAlgorithm::bind(system_ctx);
+  const geometry::Rect area = config().field_area();
+  switch (config().partition) {
+    case PartitionShape::kSquare:
+      partition_ = std::make_unique<geometry::SquarePartition>(
+          geometry::SquarePartition::squares(area, config().robots));
+      break;
+    case PartitionShape::kHexagon:
+      partition_ = std::make_unique<geometry::HexPartition>(area, config().robots);
+      break;
+  }
+}
+
+void FixedDistributedAlgorithm::initialize() {
+  // Paper §3.2 init: robots move to their subarea centers, then flood their
+  // location to the subarea's sensors. The repositioning is instantaneous in
+  // simulation time (it precedes operation) but its motion cost is tracked.
+  for (std::size_t i = 0; i < robot_count(); ++i) {
+    auto& r = robot_at(i);
+    const Vec2 center = partition_->center(i);
+    init_motion_ += geometry::distance(r.position(), center);
+    r.teleport(center);
+    broadcast_location_update(r, /*init=*/true);
+  }
+}
+
+std::optional<wsn::ReportTarget> FixedDistributedAlgorithm::report_target(
+    const wsn::SensorNode& sensor) const {
+  // Subarea membership is deployment-time configuration: every sensor knows
+  // the field geometry and its own coordinates, hence its subarea index.
+  const std::size_t cell = subarea_of(sensor.position());
+  const NodeId robot = config().robot_id(cell);
+  // Believed robot location: last flooded update, else the subarea center
+  // (where the robot parked at initialization).
+  const auto* knowledge = sensor.find_robot(robot);
+  const Vec2 loc = knowledge ? knowledge->location : partition_->center(cell);
+  return wsn::ReportTarget{robot, loc};
+}
+
+void FixedDistributedAlgorithm::on_location_update(wsn::SensorNode& sensor,
+                                                   const Packet& pkt, NodeId from) {
+  const auto& body = std::get<net::LocationUpdatePayload>(pkt.payload);
+  const bool fresh = sensor.learn_robot(body.robot, body.robot_location, body.update_seq);
+  const std::size_t my_cell = subarea_of(sensor.position());
+  const std::size_t robot_cell = robot_index(body.robot);
+  if (robot_cell == my_cell) sensor.set_myrobot(body.robot);
+
+  // Relay rule (paper §3.2): all sensors of the robot's subarea relay each
+  // update exactly once, remembered by sequence number.
+  if (!fresh || robot_cell != my_cell) return;
+  if (sensor.already_relayed(body.robot, body.update_seq)) return;
+  if (config().efficient_broadcast && !relay_adds_coverage(sensor, from)) return;
+  sensor.mark_relayed(body.robot, body.update_seq);
+  sensor.relay(pkt);
+}
+
+void FixedDistributedAlgorithm::on_robot_location_update(robot::RobotNode& robot) {
+  broadcast_location_update(robot);  // flood seed; subarea sensors relay
+}
+
+void FixedDistributedAlgorithm::on_robot_packet(robot::RobotNode& robot,
+                                                const Packet& pkt) {
+  if (pkt.type != PacketType::kFailureReport) return;
+  record_report_arrival(pkt);
+  acknowledge_report(robot.router(), pkt);
+  const auto& body = std::get<net::FailureReportPayload>(pkt.payload);
+  dispatch_to(robot, make_task(body.failed_node, body.failed_location, body.failure_id));
+}
+
+}  // namespace sensrep::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+
+#include "core/coordination.hpp"
+#include "geometry/partition.hpp"
+
+namespace sensrep::core {
+
+/// Fixed distributed manager algorithm (paper §3.2).
+///
+/// The field is partitioned into equal subareas, one robot per subarea; each
+/// robot is both manager and maintainer for its subarea. At initialization
+/// robots move to their subarea centers and flood their location within the
+/// subarea. Failures are reported to the subarea's robot; location updates
+/// while it moves are flooded to (and relayed by) the subarea's sensors,
+/// deduplicated by sequence number.
+class FixedDistributedAlgorithm final : public CoordinationAlgorithm {
+ public:
+  void bind(const SystemContext& ctx) override;
+  void initialize() override;
+
+  // SensorPolicy ------------------------------------------------------------
+  [[nodiscard]] std::optional<wsn::ReportTarget> report_target(
+      const wsn::SensorNode& sensor) const override;
+  void on_location_update(wsn::SensorNode& sensor, const net::Packet& pkt,
+                          net::NodeId from) override;
+
+  // RobotPolicy ---------------------------------------------------------------
+  void on_robot_location_update(robot::RobotNode& robot) override;
+  void on_robot_packet(robot::RobotNode& robot, const net::Packet& pkt) override;
+
+  [[nodiscard]] const geometry::Partition& partition() const { return *partition_; }
+
+ protected:
+  /// Idle robots return to their fixed subarea center (E12).
+  [[nodiscard]] geometry::Vec2 idle_home(const robot::RobotNode& robot) const override {
+    return partition_->center(robot_index(robot.id()));
+  }
+
+ private:
+  [[nodiscard]] std::size_t subarea_of(geometry::Vec2 p) const {
+    return partition_->cell_of(p);
+  }
+
+  std::unique_ptr<geometry::Partition> partition_;
+};
+
+}  // namespace sensrep::core

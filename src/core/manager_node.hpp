@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "geometry/vec2.hpp"
+#include "net/medium.hpp"
+#include "net/packet.hpp"
+#include "routing/geo_router.hpp"
+#include "routing/neighbor_table.hpp"
+#include "sim/simulator.hpp"
+
+namespace sensrep::core {
+
+/// The centralized algorithm's dedicated manager: a stationary robot-class
+/// node at the field center (paper §3.1). It never moves and never repairs;
+/// it only receives failure reports and forwards repair requests.
+class ManagerNode {
+ public:
+  using DeliverFn = std::function<void(const net::Packet&)>;
+
+  ManagerNode(net::NodeId id, geometry::Vec2 pos, double tx_range,
+              sim::Simulator& simulator, net::Medium& medium, DeliverFn deliver);
+
+  ManagerNode(const ManagerNode&) = delete;
+  ManagerNode& operator=(const ManagerNode&) = delete;
+
+  [[nodiscard]] net::NodeId id() const noexcept { return id_; }
+  [[nodiscard]] geometry::Vec2 position() const noexcept { return pos_; }
+  [[nodiscard]] routing::GeoRouter& router() noexcept { return *router_; }
+
+  /// Refreshes the manager's one-hop view (alive nodes within its TX range;
+  /// oracle discovery, same abstraction as RobotNode — see DESIGN.md).
+  void refresh_neighbor_table();
+
+ private:
+  void on_packet(const net::Packet& pkt, net::NodeId from);
+
+  net::NodeId id_;
+  geometry::Vec2 pos_;
+  double tx_range_;
+  net::Medium* medium_;
+  routing::NeighborTable table_;
+  std::unique_ptr<routing::GeoRouter> router_;
+  DeliverFn deliver_;
+};
+
+}  // namespace sensrep::core

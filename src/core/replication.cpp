@@ -1,0 +1,82 @@
+#include "core/replication.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/format.hpp"
+
+namespace sensrep::core {
+
+MetricEstimate estimate_from(const metrics::Summary& summary) {
+  MetricEstimate e;
+  e.n = summary.count();
+  e.mean = summary.mean();
+  e.stddev = summary.stddev();
+  if (e.n >= 2) {
+    // z=1.96; with the handful of replications typical here this slightly
+    // understates the t-interval, which the non-overlap test compensates by
+    // being conservative in the first place.
+    e.ci95_half_width = 1.96 * e.stddev / std::sqrt(static_cast<double>(e.n));
+  }
+  return e;
+}
+
+bool significantly_different(const MetricEstimate& a, const MetricEstimate& b) noexcept {
+  return a.lo() > b.hi() || b.lo() > a.hi();
+}
+
+ReplicatedResult run_replicated(const SimulationConfig& config,
+                                std::size_t replications) {
+  if (replications == 0) {
+    throw std::invalid_argument("run_replicated: replications must be >= 1");
+  }
+  metrics::Summary travel, report, request, update_tx, latency, delivery, failures;
+
+  ReplicatedResult out;
+  out.base_config = config;
+  for (std::size_t i = 0; i < replications; ++i) {
+    SimulationConfig cfg = config;
+    cfg.seed = config.seed + i;
+    out.seeds.push_back(cfg.seed);
+    Simulation sim(cfg);
+    sim.run();
+    const auto r = sim.result();
+    travel.add(r.avg_travel_per_repair);
+    report.add(r.avg_report_hops);
+    if (r.avg_request_hops > 0.0) request.add(r.avg_request_hops);
+    update_tx.add(r.location_update_tx_per_repair);
+    latency.add(r.avg_repair_latency);
+    delivery.add(r.delivery_ratio);
+    failures.add(static_cast<double>(r.failures));
+  }
+  out.travel_per_repair = estimate_from(travel);
+  out.report_hops = estimate_from(report);
+  out.request_hops = estimate_from(request);
+  out.update_tx_per_repair = estimate_from(update_tx);
+  out.repair_latency = estimate_from(latency);
+  out.delivery_ratio = estimate_from(delivery);
+  out.failures = estimate_from(failures);
+  return out;
+}
+
+std::string ReplicatedResult::summary() const {
+  std::ostringstream out;
+  const auto line = [&](const char* name, const MetricEstimate& e) {
+    out << trace::strfmt("  %-24s %10.3f +- %7.3f  (n=%zu)\n", name, e.mean,
+                         e.ci95_half_width, e.n);
+  };
+  out << trace::strfmt("%s, %zu robots, %zu replications\n",
+                       std::string(to_string(base_config.algorithm)).c_str(),
+                       base_config.robots, seeds.size());
+  line("travel m/repair", travel_per_repair);
+  line("report hops", report_hops);
+  if (request_hops.n > 0) line("request hops", request_hops);
+  line("update tx/repair", update_tx_per_repair);
+  line("repair latency s", repair_latency);
+  line("delivery ratio", delivery_ratio);
+  line("failures", failures);
+  return out.str();
+}
+
+}  // namespace sensrep::core

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/simulation.hpp"
+#include "metrics/summary.hpp"
+
+namespace sensrep::core {
+
+/// One metric aggregated across replications.
+struct MetricEstimate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95_half_width = 0.0;  // normal-approximation 95% interval
+  std::size_t n = 0;
+
+  [[nodiscard]] double lo() const noexcept { return mean - ci95_half_width; }
+  [[nodiscard]] double hi() const noexcept { return mean + ci95_half_width; }
+};
+
+/// Cross-seed aggregate of the figure metrics — single-seed simulation
+/// results carry deployment-draw noise (visible in Fig. 2's small
+/// fixed-vs-dynamic gap), and any claim worth publishing needs replication.
+struct ReplicatedResult {
+  SimulationConfig base_config;
+  std::vector<std::uint64_t> seeds;
+
+  MetricEstimate travel_per_repair;          // Fig. 2
+  MetricEstimate report_hops;                // Fig. 3
+  MetricEstimate request_hops;               // Fig. 3, centralized
+  MetricEstimate update_tx_per_repair;       // Fig. 4
+  MetricEstimate repair_latency;
+  MetricEstimate delivery_ratio;
+  MetricEstimate failures;
+
+  /// Human-readable block, one line per metric: "mean ± ci95 (n=..)".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs `replications` full simulations of `config`, with seeds
+/// config.seed, config.seed+1, ... and aggregates the figure metrics.
+/// Requires replications >= 1.
+[[nodiscard]] ReplicatedResult run_replicated(const SimulationConfig& config,
+                                              std::size_t replications);
+
+/// Normal-approximation aggregation of per-seed samples (exposed for tests).
+[[nodiscard]] MetricEstimate estimate_from(const metrics::Summary& summary);
+
+/// True when two estimates' 95% intervals do not overlap — the replication
+/// suite's criterion for calling an ordering "significant".
+[[nodiscard]] bool significantly_different(const MetricEstimate& a,
+                                           const MetricEstimate& b) noexcept;
+
+}  // namespace sensrep::core

@@ -1,0 +1,152 @@
+#include "core/simulation.hpp"
+
+#include <sstream>
+
+#include "metrics/summary.hpp"
+#include "trace/format.hpp"
+#include "wsn/deployment.hpp"
+
+namespace sensrep::core {
+
+Simulation::Simulation(const SimulationConfig& config) : config_(config) {
+  config_.validate();
+  sim::Rng master(config_.seed);
+
+  medium_ = std::make_unique<net::Medium>(sim_, master.fork("medium"), config_.radio,
+                                          counters_, config_.field.sensor_tx_range);
+  algo_ = make_algorithm(config_);
+  field_ = std::make_unique<wsn::SensorField>(sim_, *medium_, *algo_, log_, config_.field,
+                                              master.fork("field"));
+
+  auto deploy_rng = master.fork("sensor-deploy");
+  field_->deploy(wsn::uniform_deployment(deploy_rng, config_.field_area(),
+                                         config_.sensor_count()));
+
+  auto robot_rng = master.fork("robot-deploy");
+  const auto robot_positions =
+      wsn::uniform_deployment(robot_rng, config_.field_area(), config_.robots);
+  robot::RobotNode::Config rc;
+  rc.speed = config_.robot_speed;
+  rc.tx_range = config_.robot_tx_range;
+  rc.update_threshold = config_.update_threshold;
+  rc.spares = config_.robot_spares;
+  rc.depot = config_.robot_depot;
+  robots_.reserve(config_.robots);
+  for (std::size_t i = 0; i < config_.robots; ++i) {
+    robots_.push_back(std::make_unique<robot::RobotNode>(
+        config_.robot_id(i), robot_positions[i], rc, sim_, *medium_, *field_, *algo_));
+  }
+
+  SystemContext ctx;
+  ctx.simulator = &sim_;
+  ctx.medium = medium_.get();
+  ctx.field = field_.get();
+  ctx.log = &log_;
+  ctx.robots = &robots_;
+  ctx.config = &config_;
+  algo_->bind(ctx);
+
+  field_->initialize();
+  algo_->initialize();
+  field_->start();
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::run() { run_until(config_.sim_duration); }
+
+void Simulation::attach_event_log(trace::EventLog& log) {
+  field_->set_event_log(&log);
+  algo_->set_event_log(&log);
+}
+
+void Simulation::run_until(sim::SimTime t) { sim_.run_until(t); }
+
+ExperimentResult Simulation::result() const {
+  ExperimentResult r;
+  r.algorithm = config_.algorithm;
+  r.robots = config_.robots;
+  r.seed = config_.seed;
+
+  metrics::Summary travel;
+  metrics::Summary report_hops;
+  metrics::Summary request_hops;
+  metrics::Summary detect_latency;
+  metrics::Summary repair_latency;
+
+  for (const auto& rec : log_.records()) {
+    ++r.failures;
+    if (rec.detected()) {
+      ++r.detected;
+      detect_latency.add(rec.detected_at - rec.failed_at);
+    }
+    if (sim::is_valid_time(rec.reported_at)) {
+      ++r.reported;
+      report_hops.add(static_cast<double>(rec.report_hops));
+    }
+    if (rec.request_hops > 0) request_hops.add(static_cast<double>(rec.request_hops));
+    if (rec.repaired()) {
+      ++r.repaired;
+      travel.add(rec.travel_distance);
+      repair_latency.add(rec.repair_latency());
+    }
+  }
+
+  r.avg_travel_per_repair = travel.mean();
+  r.avg_report_hops = report_hops.mean();
+  r.avg_request_hops = request_hops.mean();
+  r.avg_detection_latency = detect_latency.mean();
+  r.avg_repair_latency = repair_latency.mean();
+  r.p95_repair_latency = repair_latency.empty() ? 0.0 : repair_latency.percentile(0.95);
+  r.delivery_ratio =
+      r.detected == 0 ? 1.0
+                      : static_cast<double>(r.reported) / static_cast<double>(r.detected);
+  r.unreported = field_->unreported_count();
+
+  r.router_drops = field_->router_drops();
+  for (const auto& robot : robots_) r.router_drops += robot->router().drops();
+
+  for (std::size_t c = 0; c < r.transmissions.size(); ++c) {
+    r.transmissions[c] = counters_.get(static_cast<metrics::MessageCategory>(c));
+  }
+  r.location_update_tx_per_repair =
+      r.repaired == 0
+          ? 0.0
+          : static_cast<double>(r.tx(metrics::MessageCategory::kLocationUpdate)) /
+                static_cast<double>(r.repaired);
+
+  for (const auto& robot : robots_) {
+    r.total_robot_distance += robot->odometer();
+    r.motion_energy_j += config_.energy.motion_energy_j(robot->odometer());
+    r.mission_energy_j += config_.energy.mission_energy_j(robot->odometer(), sim_.now());
+  }
+  r.init_motion = algo_->init_motion();
+  return r;
+}
+
+std::string ExperimentResult::summary() const {
+  std::ostringstream out;
+  out << trace::strfmt("algorithm=%s robots=%zu seed=%llu\n",
+                       std::string(to_string(algorithm)).c_str(), robots,
+                       static_cast<unsigned long long>(seed));
+  out << trace::strfmt(
+      "  failures=%zu detected=%zu reported=%zu repaired=%zu unreported=%zu drops=%llu\n",
+      failures, detected, reported, repaired, unreported,
+      static_cast<unsigned long long>(router_drops));
+  out << trace::strfmt("  fig2 avg travel per repair   : %8.2f m\n", avg_travel_per_repair);
+  out << trace::strfmt("  fig3 avg report hops          : %8.2f\n", avg_report_hops);
+  if (avg_request_hops > 0.0) {
+    out << trace::strfmt("  fig3 avg request hops         : %8.2f\n", avg_request_hops);
+  }
+  out << trace::strfmt("  fig4 location-update tx/fail  : %8.2f\n",
+                       location_update_tx_per_repair);
+  out << trace::strfmt("  latency detect=%.1fs repair avg=%.1fs p95=%.1fs\n",
+                       avg_detection_latency, avg_repair_latency, p95_repair_latency);
+  out << trace::strfmt("  motion total=%.1fm init=%.1fm delivery=%.4f\n",
+                       total_robot_distance, init_motion, delivery_ratio);
+  out << trace::strfmt("  energy motion=%.1fkJ mission=%.1fkJ\n",
+                       motion_energy_j / 1000.0, mission_energy_j / 1000.0);
+  return out.str();
+}
+
+}  // namespace sensrep::core

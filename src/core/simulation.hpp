@@ -1,0 +1,125 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/coordination.hpp"
+#include "metrics/counters.hpp"
+#include "metrics/failure_log.hpp"
+#include "net/medium.hpp"
+#include "robot/robot.hpp"
+#include "sim/simulator.hpp"
+#include "wsn/sensor_field.hpp"
+
+namespace sensrep::core {
+
+/// Aggregated outcome of one run; every figure of the paper is a projection
+/// of these fields (see DESIGN.md §4 experiment index).
+struct ExperimentResult {
+  Algorithm algorithm = Algorithm::kCentralized;
+  std::size_t robots = 0;
+  std::uint64_t seed = 0;
+
+  // Figure 2: motion overhead.
+  double avg_travel_per_repair = 0.0;  // meters
+
+  // Figure 3: messaging hops.
+  double avg_report_hops = 0.0;
+  double avg_request_hops = 0.0;  // centralized only; 0 otherwise
+
+  // Figure 4: location-update transmissions per (repaired) failure.
+  double location_update_tx_per_repair = 0.0;
+
+  // Failure pipeline health.
+  std::size_t failures = 0;
+  std::size_t detected = 0;
+  std::size_t reported = 0;
+  std::size_t repaired = 0;
+  std::size_t unreported = 0;   // detections with no reachable manager
+  std::uint64_t router_drops = 0;
+  double delivery_ratio = 0.0;  // reports that reached a manager / detections
+
+  // Latency.
+  double avg_detection_latency = 0.0;  // failure -> guardian detection
+  double avg_repair_latency = 0.0;     // failure -> replacement powered on
+  double p95_repair_latency = 0.0;
+
+  // Motion & energy (EnergyModel in the config; paper ref. [9]).
+  double total_robot_distance = 0.0;
+  double init_motion = 0.0;
+  double motion_energy_j = 0.0;   // marginal energy of all driving
+  double mission_energy_j = 0.0;  // full-mission draw incl. idle floor
+
+  // Transmission counters snapshot, indexed by MessageCategory.
+  std::array<std::uint64_t, static_cast<std::size_t>(metrics::MessageCategory::kCount)>
+      transmissions{};
+
+  [[nodiscard]] std::uint64_t tx(metrics::MessageCategory c) const noexcept {
+    return transmissions[static_cast<std::size_t>(c)];
+  }
+
+  /// Human-readable multi-line summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// One fully wired simulation: medium, sensor field, robots, and the chosen
+/// coordination algorithm — construction performs deployment and the
+/// algorithm's initialization stage, so the system is ready to run.
+///
+///   core::SimulationConfig cfg;
+///   cfg.algorithm = core::Algorithm::kDynamicDistributed;
+///   cfg.robots = 9;
+///   core::Simulation sim(cfg);
+///   sim.run();
+///   auto result = sim.result();
+class Simulation {
+ public:
+  explicit Simulation(const SimulationConfig& config);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Runs to config.sim_duration (resumable: run_until first, then run).
+  void run();
+
+  /// Runs the virtual clock up to `t` (absolute seconds).
+  void run_until(sim::SimTime t);
+
+  /// Snapshot of all metrics at the current virtual time.
+  [[nodiscard]] ExperimentResult result() const;
+
+  /// Streams failure-lifecycle and robot-movement events into `log` from now
+  /// on (see trace::EventLog). The log must outlive the simulation.
+  void attach_event_log(trace::EventLog& log);
+
+  // --- component access (examples, tests, visualization) --------------------
+
+  [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::Medium& medium() noexcept { return *medium_; }
+  [[nodiscard]] wsn::SensorField& field() noexcept { return *field_; }
+  [[nodiscard]] CoordinationAlgorithm& algorithm() noexcept { return *algo_; }
+  [[nodiscard]] std::vector<std::unique_ptr<robot::RobotNode>>& robots() noexcept {
+    return robots_;
+  }
+  [[nodiscard]] const metrics::FailureLog& failure_log() const noexcept { return log_; }
+  [[nodiscard]] const metrics::TransmissionCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  SimulationConfig config_;
+  sim::Simulator sim_;
+  metrics::TransmissionCounters counters_;
+  metrics::FailureLog log_;
+  std::unique_ptr<net::Medium> medium_;
+  std::unique_ptr<CoordinationAlgorithm> algo_;
+  std::unique_ptr<wsn::SensorField> field_;
+  std::vector<std::unique_ptr<robot::RobotNode>> robots_;
+};
+
+}  // namespace sensrep::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "geometry/vec2.hpp"
+
+namespace sensrep::geometry {
+
+/// Grid-sampled coverage analysis of a disc-sensing field.
+///
+/// Sensor replacement exists to keep the field *covered* (paper §1, citing
+/// Meguerdichian et al. for the coverage problem). This report quantifies
+/// the coverage state a maintainer fleet preserves: plain and k-fold covered
+/// fractions, plus the holes — connected uncovered regions — whose size
+/// tells an operator whether anything slips through.
+struct CoverageReport {
+  double covered_fraction = 0.0;    // area within >= 1 sensing disc
+  double k_covered_fraction = 0.0;  // area within >= k sensing discs
+  std::size_t hole_count = 0;       // connected uncovered regions
+  double largest_hole_area = 0.0;   // m^2, grid-quantized
+  double total_hole_area = 0.0;     // m^2 == (1 - covered_fraction) * area
+};
+
+/// Analyzes disc coverage of `area` by `sensors` with the given sensing
+/// radius, sampled on a grid_side x grid_side lattice (4-connected hole
+/// flood fill). Requires sensing_radius > 0, k >= 1, grid_side >= 2.
+[[nodiscard]] CoverageReport analyze_coverage(const std::vector<Vec2>& sensors,
+                                              const Rect& area, double sensing_radius,
+                                              std::size_t k = 2,
+                                              std::size_t grid_side = 128);
+
+}  // namespace sensrep::geometry

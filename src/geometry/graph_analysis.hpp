@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+
+namespace sensrep::geometry {
+
+/// Structural analysis of the unit-disk communication graph.
+///
+/// The coordination algorithms assume the sensor network stays connected so
+/// failure reports can reach a manager. These utilities quantify how close a
+/// field is to violating that: connected components, and the articulation
+/// nodes whose single failure would split the network (the nodes a
+/// deployment planner — or the disaster example — should worry about).
+class UnitDiskGraph {
+ public:
+  /// Builds the graph over `points` with communication radius `radius`.
+  UnitDiskGraph(const std::vector<Vec2>& points, double radius);
+
+  [[nodiscard]] std::size_t size() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& neighbors(std::size_t v) const {
+    return adjacency_.at(v);
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  /// Component id per vertex (dense, 0-based) and the component count.
+  struct Components {
+    std::vector<std::size_t> id;
+    std::size_t count = 0;
+  };
+  [[nodiscard]] Components connected_components() const;
+
+  [[nodiscard]] bool connected() const { return connected_components().count <= 1; }
+
+  /// Vertices whose removal increases the component count (Tarjan's
+  /// algorithm, iterative). Sorted ascending.
+  [[nodiscard]] std::vector<std::size_t> articulation_points() const;
+
+  /// Size of the largest component after removing vertex `v` (what a single
+  /// failure at v would leave operational).
+  [[nodiscard]] std::size_t largest_component_without(std::size_t v) const;
+
+  /// Average vertex degree.
+  [[nodiscard]] double mean_degree() const noexcept;
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace sensrep::geometry

@@ -1,0 +1,147 @@
+#include "geometry/localization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sensrep::geometry {
+
+std::optional<Vec2> multilaterate(const std::vector<RangeMeasurement>& measurements,
+                                  Vec2 initial_guess, int max_iterations,
+                                  double tolerance) {
+  if (measurements.size() < 3) return std::nullopt;
+
+  Vec2 x = initial_guess;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Normal equations J^T J delta = -J^T r for residuals
+    // r_i = |x - a_i| - d_i with Jacobian rows (x - a_i)/|x - a_i|.
+    double jtj00 = 0.0, jtj01 = 0.0, jtj11 = 0.0;
+    double jtr0 = 0.0, jtr1 = 0.0;
+    for (const auto& m : measurements) {
+      const Vec2 diff = x - m.anchor;
+      const double dist = norm(diff);
+      if (dist < 1e-9) continue;  // sitting on an anchor: skip its gradient
+      const Vec2 j = diff / dist;
+      const double r = dist - m.range;
+      jtj00 += j.x * j.x;
+      jtj01 += j.x * j.y;
+      jtj11 += j.y * j.y;
+      jtr0 += j.x * r;
+      jtr1 += j.y * r;
+    }
+    const double det = jtj00 * jtj11 - jtj01 * jtj01;
+    if (std::abs(det) < 1e-12) return std::nullopt;  // collinear anchors
+    Vec2 delta{(-jtr0 * jtj11 + jtr1 * jtj01) / det,
+               (jtr0 * jtj01 - jtr1 * jtj00) / det};
+    // Trust region: full Gauss-Newton steps can overshoot into the mirror
+    // basin when the anchor geometry is thin; clamp the step length.
+    constexpr double kMaxStep = 40.0;
+    const double step = norm(delta);
+    if (step > kMaxStep) delta = delta * (kMaxStep / step);
+    x += delta;
+    if (norm2(delta) < tolerance * tolerance) break;
+  }
+  if (!std::isfinite(x.x) || !std::isfinite(x.y)) return std::nullopt;
+  return x;
+}
+
+LocalizationResult localize_field(const std::vector<Vec2>& true_positions,
+                                  const LocalizationConfig& config, sim::Rng& rng) {
+  if (config.anchor_fraction <= 0.0 || config.anchor_fraction > 1.0) {
+    throw std::invalid_argument("localize_field: anchor_fraction must be in (0, 1]");
+  }
+  if (config.min_anchors < 3) {
+    throw std::invalid_argument("localize_field: min_anchors must be >= 3");
+  }
+  const std::size_t n = true_positions.size();
+  LocalizationResult out;
+  out.estimated = true_positions;  // anchors keep truth; others overwritten
+  out.is_anchor.assign(n, false);
+
+  // Draw anchors: at least min_anchors (multilateration needs 3 independent
+  // references), at most n.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  const std::size_t anchor_count = std::min(
+      n, std::max(static_cast<std::size_t>(config.min_anchors),
+                  static_cast<std::size_t>(std::ceil(
+                      config.anchor_fraction * static_cast<double>(n)))));
+  std::vector<std::size_t> anchors(order.begin(),
+                                   order.begin() + static_cast<std::ptrdiff_t>(anchor_count));
+  for (const std::size_t a : anchors) out.is_anchor[a] = true;
+
+  double error_sum = 0.0;
+  std::size_t located = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out.is_anchor[i]) continue;
+
+    // Anchors within ranging distance; fall back to the nearest min_anchors
+    // anywhere (multi-hop ranging such as DV-distance) when too few.
+    std::vector<std::size_t> usable;
+    for (const std::size_t a : anchors) {
+      if (distance(true_positions[i], true_positions[a]) <= config.max_ranging_distance) {
+        usable.push_back(a);
+      }
+    }
+    if (usable.size() < static_cast<std::size_t>(config.min_anchors)) {
+      usable = anchors;
+      std::sort(usable.begin(), usable.end(), [&](std::size_t lhs, std::size_t rhs) {
+        return distance2(true_positions[i], true_positions[lhs]) <
+               distance2(true_positions[i], true_positions[rhs]);
+      });
+      usable.resize(std::min<std::size_t>(usable.size(),
+                                          static_cast<std::size_t>(config.min_anchors)));
+    }
+
+    std::vector<RangeMeasurement> ranges;
+    Vec2 centroid{};
+    for (const std::size_t a : usable) {
+      const double true_range = distance(true_positions[i], true_positions[a]);
+      const double measured =
+          std::max(0.0, true_range + rng.normal(0.0, config.range_noise_stddev));
+      ranges.push_back({true_positions[a], measured});
+      centroid += true_positions[a];
+    }
+    centroid = centroid / static_cast<double>(usable.size());
+
+    // Multi-start: the nonlinear fit has a mirror ambiguity when the anchor
+    // set is thin; start from the centroid and three offsets and keep the
+    // solution with the smallest residual norm.
+    const auto residual2 = [&](Vec2 x) {
+      double sum = 0.0;
+      for (const auto& m : ranges) {
+        const double r = distance(x, m.anchor) - m.range;
+        sum += r * r;
+      }
+      return sum;
+    };
+    std::optional<Vec2> best;
+    double best_res = std::numeric_limits<double>::infinity();
+    for (const Vec2 start : {centroid, centroid + Vec2{60.0, 0.0},
+                             centroid + Vec2{-30.0, 52.0}, centroid + Vec2{-30.0, -52.0}}) {
+      const auto fix = multilaterate(ranges, start);
+      if (!fix) continue;
+      const double res = residual2(*fix);
+      if (res < best_res) {
+        best_res = res;
+        best = fix;
+      }
+    }
+    if (best) {
+      out.estimated[i] = *best;
+    } else {
+      out.estimated[i] = centroid;  // degenerate geometry: best local guess
+      ++out.failed;
+    }
+    const double err = distance(out.estimated[i], true_positions[i]);
+    error_sum += err;
+    out.max_error = std::max(out.max_error, err);
+    ++located;
+  }
+  out.mean_error = located == 0 ? 0.0 : error_sum / static_cast<double>(located);
+  return out;
+}
+
+}  // namespace sensrep::geometry

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "sim/rng.hpp"
+
+namespace sensrep::geometry {
+
+/// Range-based localization substrate.
+///
+/// The paper assumes every sensor knows its own location, "enabled in the
+/// initial deployment process" (§2a). This module implements the standard
+/// way that assumption is realized in practice — a fraction of nodes are
+/// anchors (GPS or surveyed) and the rest multilaterate from noisy range
+/// measurements — so that the localization-error ablation can quantify how
+/// much position error the geographic-routing stack tolerates.
+
+/// One noisy distance measurement to a known-position anchor.
+struct RangeMeasurement {
+  Vec2 anchor;
+  double range = 0.0;  // measured distance, meters (noise included)
+};
+
+/// Nonlinear least squares position fit (Gauss–Newton on the residuals
+/// |x - a_i| - d_i). Returns nullopt when the system is degenerate (fewer
+/// than 3 measurements, collinear anchors, or a singular normal matrix).
+[[nodiscard]] std::optional<Vec2> multilaterate(
+    const std::vector<RangeMeasurement>& measurements, Vec2 initial_guess,
+    int max_iterations = 25, double tolerance = 1e-9);
+
+/// Field-level localization parameters.
+struct LocalizationConfig {
+  double anchor_fraction = 0.1;     // nodes with surveyed/GPS positions
+  double range_noise_stddev = 2.0;  // additive Gaussian ranging error, m
+  double max_ranging_distance = 150.0;  // anchors audible for ranging
+  int min_anchors = 3;              // fall back to nearest anchors if fewer in range
+};
+
+/// Per-node localization outcome.
+struct LocalizationResult {
+  std::vector<Vec2> estimated;   // estimated position per node
+  std::vector<bool> is_anchor;   // anchors keep their true position
+  std::size_t failed = 0;        // nodes that fell back to the anchor centroid
+  double mean_error = 0.0;       // mean |estimate - truth| over non-anchors
+  double max_error = 0.0;
+};
+
+/// Localizes every node of `true_positions`: draws anchors, simulates noisy
+/// ranging, multilaterates the rest. Deterministic for a given rng state.
+[[nodiscard]] LocalizationResult localize_field(const std::vector<Vec2>& true_positions,
+                                                const LocalizationConfig& config,
+                                                sim::Rng& rng);
+
+}  // namespace sensrep::geometry

@@ -1,0 +1,99 @@
+#include "geometry/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sensrep::geometry {
+
+SquarePartition::SquarePartition(const Rect& bounds, std::size_t rows, std::size_t cols)
+    : bounds_(bounds), rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("SquarePartition: rows and cols must be positive");
+  }
+}
+
+SquarePartition SquarePartition::squares(const Rect& bounds, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("SquarePartition::squares: n must be positive");
+  // Most-square factorization rows*cols == n.
+  auto rows = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  while (rows > 1 && n % rows != 0) --rows;
+  return SquarePartition{bounds, rows, n / rows};
+}
+
+std::size_t SquarePartition::cell_of(Vec2 p) const noexcept {
+  const Vec2 q = bounds_.clamp(p);
+  const double fx = (q.x - bounds_.min.x) / bounds_.width();
+  const double fy = (q.y - bounds_.min.y) / bounds_.height();
+  const auto cx = std::min(cols_ - 1, static_cast<std::size_t>(fx * static_cast<double>(cols_)));
+  const auto cy = std::min(rows_ - 1, static_cast<std::size_t>(fy * static_cast<double>(rows_)));
+  return cy * cols_ + cx;
+}
+
+Rect SquarePartition::cell_rect(std::size_t i) const {
+  if (i >= size()) throw std::out_of_range("SquarePartition::cell_rect");
+  const std::size_t cy = i / cols_;
+  const std::size_t cx = i % cols_;
+  const double w = bounds_.width() / static_cast<double>(cols_);
+  const double h = bounds_.height() / static_cast<double>(rows_);
+  const Vec2 lo{bounds_.min.x + static_cast<double>(cx) * w,
+                bounds_.min.y + static_cast<double>(cy) * h};
+  return Rect{lo, lo + Vec2{w, h}};
+}
+
+Vec2 SquarePartition::center(std::size_t i) const { return cell_rect(i).center(); }
+
+HexPartition::HexPartition(const Rect& bounds, std::size_t n) : bounds_(bounds) {
+  if (n == 0) throw std::invalid_argument("HexPartition: n must be positive");
+  // Lay seeds on a staggered lattice sized so that about n seeds cover the
+  // field: cell area ~ field area / n; hexagon area = (3*sqrt(3)/2) r^2 with
+  // lattice pitch dx = sqrt(3) r, dy = 1.5 r.
+  const double cell_area = bounds.area() / static_cast<double>(n);
+  const double r = std::sqrt(cell_area / (1.5 * std::sqrt(3.0)));
+  const double dx = std::sqrt(3.0) * r;
+  const double dy = 1.5 * r;
+
+  for (std::size_t row = 0;; ++row) {
+    const double y = bounds.min.y + dy * (0.5 + static_cast<double>(row));
+    if (y > bounds.max.y) break;
+    const double x0 = bounds.min.x + ((row % 2 == 0) ? 0.5 : 1.0) * dx * 0.5;
+    for (std::size_t col = 0;; ++col) {
+      const double x = x0 + dx * static_cast<double>(col);
+      if (x > bounds.max.x) break;
+      centers_.push_back({x, y});
+    }
+  }
+  if (centers_.empty()) centers_.push_back(bounds.center());
+
+  // Trim to exactly n seeds when the lattice overshoots, dropping the seeds
+  // closest to the boundary first so interior coverage stays even; pad with
+  // the field center when it undershoots (degenerate tiny-n cases).
+  if (centers_.size() > n) {
+    std::stable_sort(centers_.begin(), centers_.end(), [&](Vec2 a, Vec2 b) {
+      const auto edge_dist = [&](Vec2 p) {
+        return std::min({p.x - bounds.min.x, bounds.max.x - p.x,
+                         p.y - bounds.min.y, bounds.max.y - p.y});
+      };
+      return edge_dist(a) > edge_dist(b);
+    });
+    centers_.resize(n);
+  }
+  while (centers_.size() < n) centers_.push_back(bounds.center());
+}
+
+std::size_t HexPartition::cell_of(Vec2 p) const noexcept {
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < centers_.size(); ++i) {
+    const double d2 = distance2(p, centers_[i]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace sensrep::geometry

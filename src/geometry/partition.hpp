@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "geometry/vec2.hpp"
+
+namespace sensrep::geometry {
+
+/// Partition of a rectangular field into equal-ish subareas, one per robot.
+///
+/// The fixed distributed manager algorithm assigns each robot a subarea; the
+/// paper evaluates square partitions and reports hexagon partitions make a
+/// "negligible difference" — both shapes implement this interface so the
+/// ablation bench (E4) can swap them.
+class Partition {
+ public:
+  virtual ~Partition() = default;
+
+  /// Number of subareas.
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  /// Index of the subarea containing p (points outside the field map to the
+  /// nearest subarea).
+  [[nodiscard]] virtual std::size_t cell_of(Vec2 p) const noexcept = 0;
+
+  /// Representative center of subarea i — where its robot parks initially.
+  [[nodiscard]] virtual Vec2 center(std::size_t i) const = 0;
+
+  /// The partitioned field.
+  [[nodiscard]] virtual const Rect& bounds() const noexcept = 0;
+};
+
+/// Square grid partition into rows x cols congruent rectangles.
+class SquarePartition final : public Partition {
+ public:
+  SquarePartition(const Rect& bounds, std::size_t rows, std::size_t cols);
+
+  /// Partition into `n` cells arranged as the most-square rows x cols grid
+  /// with rows*cols == n. Requires n >= 1.
+  [[nodiscard]] static SquarePartition squares(const Rect& bounds, std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return rows_ * cols_; }
+  [[nodiscard]] std::size_t cell_of(Vec2 p) const noexcept override;
+  [[nodiscard]] Vec2 center(std::size_t i) const override;
+  [[nodiscard]] const Rect& bounds() const noexcept override { return bounds_; }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] Rect cell_rect(std::size_t i) const;
+
+ private:
+  Rect bounds_;
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+/// Hexagon-like partition: `n` seed centers arranged on a staggered
+/// (triangular) lattice; each point belongs to its nearest seed, which yields
+/// hexagonal Voronoi subareas in the field interior.
+class HexPartition final : public Partition {
+ public:
+  /// Requires n >= 1.
+  HexPartition(const Rect& bounds, std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept override { return centers_.size(); }
+  [[nodiscard]] std::size_t cell_of(Vec2 p) const noexcept override;
+  [[nodiscard]] Vec2 center(std::size_t i) const override { return centers_.at(i); }
+  [[nodiscard]] const Rect& bounds() const noexcept override { return bounds_; }
+
+ private:
+  Rect bounds_;
+  std::vector<Vec2> centers_;
+};
+
+}  // namespace sensrep::geometry

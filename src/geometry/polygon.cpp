@@ -1,0 +1,101 @@
+#include "geometry/polygon.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sensrep::geometry {
+
+namespace {
+
+double signed_area2(const std::vector<Vec2>& v) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const Vec2 a = v[i];
+    const Vec2 b = v[(i + 1) % v.size()];
+    s += cross(a, b);
+  }
+  return s;
+}
+
+}  // namespace
+
+ConvexPolygon::ConvexPolygon(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) {
+  if (vertices_.size() >= 3 && signed_area2(vertices_) < 0.0) {
+    std::reverse(vertices_.begin(), vertices_.end());
+  }
+}
+
+ConvexPolygon ConvexPolygon::from_rect(const Rect& r) {
+  return ConvexPolygon{{r.min, {r.max.x, r.min.y}, r.max, {r.min.x, r.max.y}}};
+}
+
+double ConvexPolygon::area() const noexcept {
+  if (empty()) return 0.0;
+  return 0.5 * signed_area2(vertices_);
+}
+
+Vec2 ConvexPolygon::centroid() const noexcept {
+  assert(!empty());
+  // Standard polygon centroid; falls back to vertex mean for degenerate area.
+  double a2 = 0.0;
+  Vec2 c{};
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2 p = vertices_[i];
+    const Vec2 q = vertices_[(i + 1) % vertices_.size()];
+    const double w = cross(p, q);
+    a2 += w;
+    c += (p + q) * w;
+  }
+  if (std::abs(a2) < 1e-12) {
+    Vec2 mean{};
+    for (const Vec2 v : vertices_) mean += v;
+    return mean / static_cast<double>(vertices_.size());
+  }
+  return c / (3.0 * a2);
+}
+
+bool ConvexPolygon::contains(Vec2 p, double eps) const noexcept {
+  if (empty()) return false;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2 a = vertices_[i];
+    const Vec2 b = vertices_[(i + 1) % vertices_.size()];
+    // CCW order: inside points are on the left of every edge.
+    if (orient(a, b, p) < -eps * distance(a, b)) return false;
+  }
+  return true;
+}
+
+ConvexPolygon ConvexPolygon::clip_half_plane(Vec2 normal, double offset) const {
+  // Sutherland–Hodgman against a single half-plane: keep dot(q,n) <= offset.
+  if (vertices_.empty()) return {};
+  std::vector<Vec2> out;
+  out.reserve(vertices_.size() + 1);
+  const auto inside = [&](Vec2 q) { return dot(q, normal) <= offset; };
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2 cur = vertices_[i];
+    const Vec2 nxt = vertices_[(i + 1) % vertices_.size()];
+    const bool cur_in = inside(cur);
+    const bool nxt_in = inside(nxt);
+    if (cur_in) out.push_back(cur);
+    if (cur_in != nxt_in) {
+      // Edge crosses the boundary line dot(q,n) == offset.
+      const double dcur = dot(cur, normal) - offset;
+      const double dnxt = dot(nxt, normal) - offset;
+      const double t = dcur / (dcur - dnxt);
+      out.push_back(lerp(cur, nxt, t));
+    }
+  }
+  if (out.size() < 3) return {};
+  return ConvexPolygon{std::move(out)};
+}
+
+ConvexPolygon ConvexPolygon::clip_closer_to(Vec2 site, Vec2 other) const {
+  // Points q with |q-site| <= |q-other|  <=>  dot(q, other-site) <= offset
+  // where the boundary is the perpendicular bisector of site—other.
+  const Vec2 n = other - site;
+  const double offset = dot(midpoint(site, other), n);
+  return clip_half_plane(n, offset);
+}
+
+}  // namespace sensrep::geometry

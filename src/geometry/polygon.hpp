@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "geometry/vec2.hpp"
+
+namespace sensrep::geometry {
+
+/// Convex polygon with counterclockwise vertex order.
+///
+/// Used for Voronoi cells (intersections of half-planes are convex) and for
+/// partition ablations. An empty vertex list represents the empty polygon.
+class ConvexPolygon {
+ public:
+  ConvexPolygon() = default;
+
+  /// Builds from vertices assumed convex; normalizes to CCW order.
+  explicit ConvexPolygon(std::vector<Vec2> vertices);
+
+  /// The full rectangle as a polygon.
+  [[nodiscard]] static ConvexPolygon from_rect(const Rect& r);
+
+  [[nodiscard]] const std::vector<Vec2>& vertices() const noexcept { return vertices_; }
+  [[nodiscard]] bool empty() const noexcept { return vertices_.size() < 3; }
+
+  /// Signed area is kept positive by the CCW invariant.
+  [[nodiscard]] double area() const noexcept;
+
+  /// Centroid of the polygon. Requires !empty().
+  [[nodiscard]] Vec2 centroid() const noexcept;
+
+  /// Closed containment test (boundary counts as inside) with tolerance.
+  [[nodiscard]] bool contains(Vec2 p, double eps = 1e-9) const noexcept;
+
+  /// Clips the polygon to the half-plane of points q with
+  /// dot(q, normal) <= offset (i.e. the side the normal points away from).
+  /// Returns the (possibly empty) clipped polygon.
+  [[nodiscard]] ConvexPolygon clip_half_plane(Vec2 normal, double offset) const;
+
+  /// Clips to the set of points at least as close to `site` as to `other`
+  /// (the dominance half-plane used to build Voronoi cells).
+  [[nodiscard]] ConvexPolygon clip_closer_to(Vec2 site, Vec2 other) const;
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+}  // namespace sensrep::geometry

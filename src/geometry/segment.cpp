@@ -1,0 +1,72 @@
+#include "geometry/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sensrep::geometry {
+
+namespace {
+
+// Is q on segment pr, assuming p, q, r are collinear?
+bool on_segment(Vec2 p, Vec2 q, Vec2 r) noexcept {
+  return q.x <= std::max(p.x, r.x) && q.x >= std::min(p.x, r.x) &&
+         q.y <= std::max(p.y, r.y) && q.y >= std::min(p.y, r.y);
+}
+
+int sign(double v) noexcept { return (v > 0.0) - (v < 0.0); }
+
+}  // namespace
+
+bool segments_intersect(const Segment& s1, const Segment& s2) noexcept {
+  const Vec2 p1 = s1.a, q1 = s1.b, p2 = s2.a, q2 = s2.b;
+  const int o1 = sign(orient(p1, q1, p2));
+  const int o2 = sign(orient(p1, q1, q2));
+  const int o3 = sign(orient(p2, q2, p1));
+  const int o4 = sign(orient(p2, q2, q1));
+
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(p1, p2, q1)) return true;
+  if (o2 == 0 && on_segment(p1, q2, q1)) return true;
+  if (o3 == 0 && on_segment(p2, p1, q2)) return true;
+  if (o4 == 0 && on_segment(p2, q1, q2)) return true;
+  return false;
+}
+
+std::optional<Vec2> segment_intersection(const Segment& s1, const Segment& s2) noexcept {
+  const Vec2 r = s1.direction();
+  const Vec2 s = s2.direction();
+  const double denom = cross(r, s);
+  const Vec2 qp = s2.a - s1.a;
+
+  if (denom == 0.0) {
+    // Parallel. Collinear overlap handling: return an endpoint of one segment
+    // that lies on the other, if any.
+    if (cross(qp, r) != 0.0) return std::nullopt;  // parallel, disjoint lines
+    for (const Vec2 cand : {s2.a, s2.b}) {
+      if (on_segment(s1.a, cand, s1.b)) return cand;
+    }
+    for (const Vec2 cand : {s1.a, s1.b}) {
+      if (on_segment(s2.a, cand, s2.b)) return cand;
+    }
+    return std::nullopt;
+  }
+
+  const double t = cross(qp, s) / denom;
+  const double u = cross(qp, r) / denom;
+  if (t < 0.0 || t > 1.0 || u < 0.0 || u > 1.0) return std::nullopt;
+  return s1.a + r * t;
+}
+
+Vec2 closest_point_on_segment(Vec2 p, const Segment& s) noexcept {
+  const Vec2 d = s.direction();
+  const double len2 = norm2(d);
+  if (len2 == 0.0) return s.a;  // degenerate segment
+  const double t = std::clamp(dot(p - s.a, d) / len2, 0.0, 1.0);
+  return s.a + d * t;
+}
+
+double point_segment_distance(Vec2 p, const Segment& s) noexcept {
+  return distance(p, closest_point_on_segment(p, s));
+}
+
+}  // namespace sensrep::geometry

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <optional>
+
+#include "geometry/vec2.hpp"
+
+namespace sensrep::geometry {
+
+/// Line segment from a to b.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  [[nodiscard]] double length() const noexcept { return distance(a, b); }
+  [[nodiscard]] constexpr Vec2 direction() const noexcept { return b - a; }
+};
+
+/// True if segments pq and rs properly intersect or touch.
+[[nodiscard]] bool segments_intersect(const Segment& s1, const Segment& s2) noexcept;
+
+/// Intersection point of the two segments, if any. For collinear overlap
+/// returns one representative point (an endpoint inside the overlap).
+[[nodiscard]] std::optional<Vec2> segment_intersection(const Segment& s1,
+                                                       const Segment& s2) noexcept;
+
+/// Distance from point p to the segment.
+[[nodiscard]] double point_segment_distance(Vec2 p, const Segment& s) noexcept;
+
+/// Closest point on the segment to p.
+[[nodiscard]] Vec2 closest_point_on_segment(Vec2 p, const Segment& s) noexcept;
+
+}  // namespace sensrep::geometry

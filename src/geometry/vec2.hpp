@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace sensrep::geometry {
+
+/// 2-D point / vector with double components (meters in this project).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) noexcept { return {a.x * s, a.y * s}; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) noexcept { return a * s; }
+  friend constexpr Vec2 operator/(Vec2 a, double s) noexcept { return {a.x / s, a.y / s}; }
+  constexpr Vec2 operator-() const noexcept { return {-x, -y}; }
+  constexpr Vec2& operator+=(Vec2 o) noexcept { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) noexcept { x -= o.x; y -= o.y; return *this; }
+
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Vec2 v) {
+    return os << '(' << v.x << ", " << v.y << ')';
+  }
+};
+
+/// Dot product.
+[[nodiscard]] constexpr double dot(Vec2 a, Vec2 b) noexcept { return a.x * b.x + a.y * b.y; }
+
+/// 2-D cross product (z component of the 3-D cross).
+[[nodiscard]] constexpr double cross(Vec2 a, Vec2 b) noexcept { return a.x * b.y - a.y * b.x; }
+
+/// Squared Euclidean norm.
+[[nodiscard]] constexpr double norm2(Vec2 a) noexcept { return dot(a, a); }
+
+/// Euclidean norm.
+[[nodiscard]] inline double norm(Vec2 a) noexcept { return std::sqrt(norm2(a)); }
+
+/// Squared distance between points.
+[[nodiscard]] constexpr double distance2(Vec2 a, Vec2 b) noexcept { return norm2(a - b); }
+
+/// Distance between points.
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept { return norm(a - b); }
+
+/// Unit vector in the direction of `a`; returns {0,0} for the zero vector.
+[[nodiscard]] inline Vec2 normalized(Vec2 a) noexcept {
+  const double n = norm(a);
+  return n > 0.0 ? a / n : Vec2{};
+}
+
+/// Perpendicular (rotated +90 degrees counterclockwise).
+[[nodiscard]] constexpr Vec2 perp(Vec2 a) noexcept { return {-a.y, a.x}; }
+
+/// Midpoint of the segment ab.
+[[nodiscard]] constexpr Vec2 midpoint(Vec2 a, Vec2 b) noexcept { return (a + b) * 0.5; }
+
+/// Linear interpolation a + t*(b-a).
+[[nodiscard]] constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) noexcept { return a + (b - a) * t; }
+
+/// Angle of vector in radians, in (-pi, pi], measured from +x axis.
+[[nodiscard]] inline double angle_of(Vec2 a) noexcept { return std::atan2(a.y, a.x); }
+
+/// Orientation predicate: >0 if a->b->c turns counterclockwise, <0 clockwise,
+/// 0 collinear.
+[[nodiscard]] constexpr double orient(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  return cross(b - a, c - a);
+}
+
+/// True when the two points are within `eps` of each other.
+[[nodiscard]] inline bool almost_equal(Vec2 a, Vec2 b, double eps = 1e-9) noexcept {
+  return distance2(a, b) <= eps * eps;
+}
+
+}  // namespace sensrep::geometry

@@ -1,0 +1,63 @@
+#include "geometry/voronoi.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sensrep::geometry {
+
+VoronoiDiagram::VoronoiDiagram(std::vector<Vec2> sites, const Rect& bounds)
+    : sites_(std::move(sites)), bounds_(bounds) {
+  cells_.reserve(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    ConvexPolygon cell = ConvexPolygon::from_rect(bounds_);
+    for (std::size_t j = 0; j < sites_.size() && !cell.empty(); ++j) {
+      if (j == i || sites_[j] == sites_[i]) continue;
+      cell = cell.clip_closer_to(sites_[i], sites_[j]);
+    }
+    cells_.push_back(std::move(cell));
+  }
+}
+
+std::size_t VoronoiDiagram::nearest_site(Vec2 p) const noexcept {
+  assert(!sites_.empty());
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const double d2 = distance2(p, sites_[i]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double VoronoiDiagram::flood_region_area(std::size_t i, Vec2 new_pos, double fringe,
+                                         std::size_t samples) const {
+  assert(i < sites_.size());
+  // Diagram with site i moved; a point belongs to the flood region when it is
+  // within `fringe` of being closest to the moved site, i.e. when
+  // dist(p, new_pos) <= dist(p, nearest other site) + fringe.
+  const auto side = static_cast<std::size_t>(std::max(1.0, std::floor(std::sqrt(
+      static_cast<double>(samples)))));
+  const double dx = bounds_.width() / static_cast<double>(side);
+  const double dy = bounds_.height() / static_cast<double>(side);
+  std::size_t hits = 0;
+  for (std::size_t gy = 0; gy < side; ++gy) {
+    for (std::size_t gx = 0; gx < side; ++gx) {
+      const Vec2 p{bounds_.min.x + (static_cast<double>(gx) + 0.5) * dx,
+                   bounds_.min.y + (static_cast<double>(gy) + 0.5) * dy};
+      double other = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < sites_.size(); ++j) {
+        if (j == i) continue;
+        other = std::min(other, distance(p, sites_[j]));
+      }
+      if (distance(p, new_pos) <= other + fringe) ++hits;
+    }
+  }
+  const double cell_area = dx * dy;
+  return static_cast<double>(hits) * cell_area;
+}
+
+}  // namespace sensrep::geometry

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "geometry/rect.hpp"
+#include "geometry/vec2.hpp"
+
+namespace sensrep::geometry {
+
+/// Voronoi diagram of a small set of sites clipped to a bounding rectangle.
+///
+/// The dynamic distributed manager algorithm implicitly partitions the field
+/// into robot Voronoi cells (paper Fig. 1); this class computes those cells
+/// explicitly for analysis, tests, visualization and the flood-scope oracle.
+///
+/// Each cell is built by clipping the bounding rectangle with the dominance
+/// half-plane against every other site — O(n^2) cells overall, which is ideal
+/// for the paper's site counts (robots <= 16) and robust (no sweep-line
+/// degeneracies).
+class VoronoiDiagram {
+ public:
+  /// Builds the diagram. Sites outside `bounds` are allowed; their cells are
+  /// still clipped to `bounds` (and may be empty).
+  VoronoiDiagram(std::vector<Vec2> sites, const Rect& bounds);
+
+  [[nodiscard]] std::size_t site_count() const noexcept { return sites_.size(); }
+  [[nodiscard]] const std::vector<Vec2>& sites() const noexcept { return sites_; }
+  [[nodiscard]] const Rect& bounds() const noexcept { return bounds_; }
+
+  /// Cell of site i (clipped to bounds; empty if dominated everywhere).
+  [[nodiscard]] const ConvexPolygon& cell(std::size_t i) const { return cells_.at(i); }
+
+  /// Index of the site nearest to p (ties broken toward the lowest index).
+  /// Requires site_count() > 0.
+  [[nodiscard]] std::size_t nearest_site(Vec2 p) const noexcept;
+
+  /// True if p lies in cell i (boundary inclusive).
+  [[nodiscard]] bool in_cell(std::size_t i, Vec2 p) const { return cells_.at(i).contains(p); }
+
+  /// Area of the region a sensor-side flood must cover when site i moves to
+  /// `new_pos`: the new cell of i, dilated by `fringe` (the shaded region in
+  /// the paper's Fig. 1b is this cell-plus-fringe). Estimated by Monte-Carlo
+  /// sampling over the bounds with `samples` points from a fixed grid, which
+  /// keeps the function deterministic.
+  [[nodiscard]] double flood_region_area(std::size_t i, Vec2 new_pos, double fringe,
+                                         std::size_t samples = 4096) const;
+
+ private:
+  std::vector<Vec2> sites_;
+  Rect bounds_;
+  std::vector<ConvexPolygon> cells_;
+};
+
+}  // namespace sensrep::geometry

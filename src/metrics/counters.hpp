@@ -1,0 +1,51 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace sensrep::metrics {
+
+/// Taxonomy of wireless transmissions, matching the paper's messaging
+/// breakdown (§4.3.2): initialization, failure detection (beacons), failure
+/// report, and robot location update; plus the repair-request forwarding leg
+/// that exists only in the centralized algorithm and bookkeeping categories.
+enum class MessageCategory : std::uint8_t {
+  kInitialization,    // location broadcasts / floods during setup
+  kBeacon,            // periodic failure-detection beacons
+  kGuardianConfirm,   // guardee -> guardian relationship confirmation
+  kFailureReport,     // guardian -> manager failure report (all hops)
+  kRepairRequest,     // manager -> robot forwarding (centralized only)
+  kLocationUpdate,    // robot location updates (unicast hops + flood relays)
+  kReplacement,       // new-node announcement and neighbor repair traffic
+  kData,              // application sensing reports (data-collection workload)
+  kOther,
+  kCount,
+};
+
+/// Human-readable name for a category (stable; used in CSV headers).
+[[nodiscard]] std::string_view to_string(MessageCategory c) noexcept;
+
+/// Per-category transmission counters.
+///
+/// A "transmission" is one radio send (the paper's Fig. 4 metric); a packet
+/// relayed over h hops therefore costs h transmissions.
+class TransmissionCounters {
+ public:
+  void add(MessageCategory c, std::uint64_t n = 1) noexcept {
+    counts_[static_cast<std::size_t>(c)] += n;
+  }
+
+  [[nodiscard]] std::uint64_t get(MessageCategory c) const noexcept {
+    return counts_[static_cast<std::size_t>(c)];
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  void reset() noexcept { counts_.fill(0); }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(MessageCategory::kCount)> counts_{};
+};
+
+}  // namespace sensrep::metrics

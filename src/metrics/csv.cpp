@@ -1,0 +1,45 @@
+#include "metrics/csv.hpp"
+
+#include <charconv>
+
+namespace sensrep::metrics {
+
+void CsvWriter::row(std::initializer_list<std::string_view> cells) {
+  std::vector<std::string> rendered;
+  rendered.reserve(cells.size());
+  for (const auto c : cells) rendered.emplace_back(c);
+  write_row(rendered);
+}
+
+std::string CsvWriter::to_cell(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string("nan");
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (const char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) (*out_) << ',';
+    (*out_) << escape(c);
+    first = false;
+  }
+  (*out_) << '\n';
+}
+
+}  // namespace sensrep::metrics

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sensrep::metrics {
+
+/// Minimal CSV emitter (RFC-4180 quoting) for experiment outputs.
+///
+/// Usage:
+///   CsvWriter csv(out);
+///   csv.row({"robots", "algorithm", "avg_distance_m"});
+///   csv.row(4, "dynamic", 83.2);
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row from pre-rendered cells.
+  void row(std::initializer_list<std::string_view> cells);
+
+  /// Writes one row, rendering each argument with to_cell().
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> rendered{to_cell(cells)...};
+    write_row(rendered);
+  }
+
+  /// Renders a value as a CSV cell (doubles use shortest round-trip form).
+  [[nodiscard]] static std::string to_cell(double v);
+  [[nodiscard]] static std::string to_cell(std::string_view v) { return std::string(v); }
+  [[nodiscard]] static std::string to_cell(const std::string& v) { return v; }
+  [[nodiscard]] static std::string to_cell(const char* v) { return v; }
+  template <std::integral T>
+  [[nodiscard]] static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+  [[nodiscard]] static std::string escape(std::string_view cell);
+
+  std::ostream* out_;
+};
+
+}  // namespace sensrep::metrics

@@ -1,0 +1,25 @@
+#include "metrics/failure_log.hpp"
+
+#include <algorithm>
+
+namespace sensrep::metrics {
+
+FailureLog::FailureId FailureLog::open(std::uint32_t node_id, sim::SimTime failed_at) {
+  FailureRecord rec;
+  rec.node_id = node_id;
+  rec.failed_at = failed_at;
+  records_.push_back(rec);
+  return records_.size() - 1;
+}
+
+std::size_t FailureLog::repaired_count() const noexcept {
+  return static_cast<std::size_t>(std::count_if(
+      records_.begin(), records_.end(), [](const FailureRecord& r) { return r.repaired(); }));
+}
+
+std::size_t FailureLog::detected_count() const noexcept {
+  return static_cast<std::size_t>(std::count_if(
+      records_.begin(), records_.end(), [](const FailureRecord& r) { return r.detected(); }));
+}
+
+}  // namespace sensrep::metrics

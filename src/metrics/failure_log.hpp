@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sensrep::metrics {
+
+/// Lifecycle record of one sensor failure, from death to replacement.
+///
+/// Every per-failure metric in the paper's figures is a projection of these
+/// records: Fig. 2 averages `travel_distance`, Fig. 3 averages `report_hops`
+/// (and `request_hops` for the centralized algorithm), Fig. 4 divides the
+/// location-update transmission counter by the number of records.
+struct FailureRecord {
+  std::uint32_t node_id = 0;
+  sim::SimTime failed_at = sim::kNever;      // true failure instant
+  sim::SimTime detected_at = sim::kNever;    // guardian declared it dead
+  sim::SimTime reported_at = sim::kNever;    // report reached the manager
+  sim::SimTime dispatched_at = sim::kNever;  // a robot was tasked
+  sim::SimTime repaired_at = sim::kNever;    // replacement node powered on
+
+  std::optional<std::uint32_t> robot_id;  // maintainer that repaired it
+  std::uint32_t report_hops = 0;          // guardian -> manager
+  std::uint32_t request_hops = 0;         // manager -> robot (centralized)
+  double travel_distance = 0.0;           // meters the maintainer drove for
+                                          // this failure (queue-wait excluded)
+
+  [[nodiscard]] bool detected() const noexcept { return sim::is_valid_time(detected_at); }
+  [[nodiscard]] bool repaired() const noexcept { return sim::is_valid_time(repaired_at); }
+
+  /// Failure-to-repair latency; kNever if unrepaired.
+  [[nodiscard]] sim::Duration repair_latency() const noexcept {
+    return repaired() ? repaired_at - failed_at : sim::kNever;
+  }
+};
+
+/// Append-only log of failure records, indexed by a dense failure id.
+class FailureLog {
+ public:
+  using FailureId = std::size_t;
+
+  /// Opens a record for a node that just failed; returns its id.
+  FailureId open(std::uint32_t node_id, sim::SimTime failed_at);
+
+  [[nodiscard]] FailureRecord& at(FailureId id) { return records_.at(id); }
+  [[nodiscard]] const FailureRecord& at(FailureId id) const { return records_.at(id); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const std::vector<FailureRecord>& records() const noexcept { return records_; }
+
+  /// Counts of records in each terminal state (diagnostics / tests).
+  [[nodiscard]] std::size_t repaired_count() const noexcept;
+  [[nodiscard]] std::size_t detected_count() const noexcept;
+
+ private:
+  std::vector<FailureRecord> records_;
+};
+
+}  // namespace sensrep::metrics

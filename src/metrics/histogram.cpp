@@ -1,0 +1,65 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "trace/format.hpp"
+
+namespace sensrep::metrics {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (lo >= hi) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+void Histogram::add_all(const std::vector<double>& values) {
+  for (const double v : values) add(v);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+std::string Histogram::ascii(std::size_t bar_width) const {
+  std::uint64_t peak = std::max<std::uint64_t>(1, *std::max_element(counts_.begin(),
+                                                                    counts_.end()));
+  std::string out;
+  if (underflow_ > 0) {
+    out += trace::strfmt("  (< %8.1f)  %llu\n", lo_,
+                         static_cast<unsigned long long>(underflow_));
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar_len = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[b]) * static_cast<double>(bar_width) /
+                     static_cast<double>(peak)));
+    out += trace::strfmt("  [%8.1f,%8.1f)  %-*s %llu\n", bin_lo(b), bin_lo(b) + width_,
+                         static_cast<int>(bar_width),
+                         std::string(bar_len, '#').c_str(),
+                         static_cast<unsigned long long>(counts_[b]));
+  }
+  if (overflow_ > 0) {
+    out += trace::strfmt("  (>=%8.1f)  %llu\n", lo_ + width_ * static_cast<double>(counts_.size()),
+                         static_cast<unsigned long long>(overflow_));
+  }
+  return out;
+}
+
+}  // namespace sensrep::metrics

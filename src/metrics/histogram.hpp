@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sensrep::metrics {
+
+/// Fixed-range, equal-width histogram with underflow/overflow buckets and a
+/// terminal-friendly ASCII rendering — the CLI's quick look at latency and
+/// travel distributions without leaving the shell.
+class Histogram {
+ public:
+  /// Buckets cover [lo, hi) split into `bins` equal widths.
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Lower edge of a bin.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+  /// Multi-line ASCII bar chart, bars scaled to `bar_width` characters:
+  ///   [   0,  100)  ####################  42
+  [[nodiscard]] std::string ascii(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sensrep::metrics

@@ -1,0 +1,60 @@
+#include "metrics/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sensrep::metrics {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+  sum_ += x;
+  // Welford update.
+  const double n = static_cast<double>(samples_.size());
+  const double delta = x - mean_;
+  mean_ += delta / n;
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::stddev() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::min() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::percentile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Summary::percentile: no samples");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("Summary::percentile: q outside [0,1]");
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  const double idx = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return sorted_[lo] + (sorted_[hi] - sorted_[lo]) * frac;
+}
+
+void Summary::reset() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  sum_ = 0.0;
+}
+
+}  // namespace sensrep::metrics

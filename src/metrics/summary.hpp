@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sensrep::metrics {
+
+/// Accumulates scalar samples and reports summary statistics.
+///
+/// Keeps all samples (experiments here produce at most a few thousand per
+/// metric) so exact percentiles are available; mean/stddev use Welford's
+/// online method to stay numerically stable.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Mean of the samples; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const noexcept;
+
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Exact percentile by linear interpolation; q in [0, 1]. Requires !empty().
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] double median() const { return percentile(0.5); }
+
+  /// Raw samples in insertion order.
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+  void reset();
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;   // lazily rebuilt for percentiles
+  mutable bool sorted_valid_ = false;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace sensrep::metrics

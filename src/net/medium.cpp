@@ -1,0 +1,171 @@
+#include "net/medium.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace sensrep::net {
+
+using geometry::Vec2;
+
+Medium::Medium(sim::Simulator& simulator, sim::Rng rng, RadioConfig config,
+               metrics::TransmissionCounters& counters, double bucket_size_m)
+    : sim_(&simulator),
+      rng_(rng),
+      config_(config),
+      counters_(&counters),
+      index_(bucket_size_m) {
+  if (config_.bitrate_bps <= 0.0) throw std::invalid_argument("Medium: bitrate must be positive");
+}
+
+void Medium::attach(NodeId id, Vec2 pos, double tx_range, ReceiveFn rx) {
+  if (!is_real_node(id)) throw std::invalid_argument("Medium::attach: reserved id");
+  if (nodes_.contains(id)) throw std::invalid_argument("Medium::attach: duplicate id");
+  if (tx_range <= 0.0) throw std::invalid_argument("Medium::attach: non-positive range");
+  nodes_.emplace(id, Transceiver{pos, tx_range, true, std::move(rx)});
+  index_.upsert(id, pos);
+}
+
+void Medium::detach(NodeId id) {
+  nodes_.erase(id);
+  index_.erase(id);
+}
+
+const Medium::Transceiver& Medium::get(NodeId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("Medium: unknown node");
+  return it->second;
+}
+
+Medium::Transceiver& Medium::get(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("Medium: unknown node");
+  return it->second;
+}
+
+void Medium::set_position(NodeId id, Vec2 pos) {
+  get(id).pos = pos;
+  index_.upsert(id, pos);
+}
+
+void Medium::set_alive(NodeId id, bool alive_flag) { get(id).alive = alive_flag; }
+
+bool Medium::attached(NodeId id) const noexcept { return nodes_.contains(id); }
+
+bool Medium::alive(NodeId id) const { return get(id).alive; }
+
+Vec2 Medium::position_of(NodeId id) const { return get(id).pos; }
+
+double Medium::tx_range_of(NodeId id) const { return get(id).tx_range; }
+
+bool Medium::in_range(NodeId sender, NodeId receiver) const {
+  const Transceiver& s = get(sender);
+  const Transceiver& r = get(receiver);
+  return geometry::distance2(s.pos, r.pos) <= s.tx_range * s.tx_range;
+}
+
+std::vector<NodeId> Medium::neighbors_of(NodeId sender) const {
+  const Transceiver& s = get(sender);
+  std::vector<NodeId> out;
+  for (const NodeId id : index_.query_ball(s.pos, s.tx_range)) {
+    if (id == sender) continue;
+    if (!nodes_.at(id).alive) continue;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Medium::nodes_near(Vec2 pos, double radius) const {
+  std::vector<NodeId> out;
+  for (const NodeId id : index_.query_ball(pos, radius)) {
+    if (nodes_.at(id).alive) out.push_back(id);
+  }
+  return out;
+}
+
+sim::Duration Medium::serialization_time(const Packet& pkt) const noexcept {
+  return static_cast<double>(pkt.size_bytes()) * 8.0 / config_.bitrate_bps;
+}
+
+sim::Duration Medium::frame_delay(const Packet& pkt) noexcept {
+  const double backoff = rng_.uniform(0.0, config_.max_backoff_s);
+  return serialization_time(pkt) + config_.propagation_s + backoff;
+}
+
+void Medium::deliver_later(NodeId to, Packet pkt, NodeId from, sim::Duration delay,
+                           bool collidable) {
+  pkt.hops += 1;
+
+  std::shared_ptr<bool> corrupted;
+  if (config_.model_collisions && collidable) {
+    // The frame occupies the receiver's channel for its serialization time,
+    // ending at the delivery instant. Any overlapping frame corrupts both.
+    const sim::SimTime end = sim_->now() + delay;
+    const sim::SimTime start = end - serialization_time(pkt);
+    corrupted = std::make_shared<bool>(false);
+    auto& slots = pending_[to];
+    // Prune expired windows while scanning for overlaps.
+    std::erase_if(slots, [now = sim_->now()](const PendingArrival& a) {
+      return a.end < now;
+    });
+    for (PendingArrival& a : slots) {
+      if (a.start < end && start < a.end) {
+        *a.corrupted = true;
+        *corrupted = true;
+      }
+    }
+    slots.push_back({start, end, corrupted});
+  }
+
+  sim_->in(delay, [this, to, pkt = std::move(pkt), from, corrupted] {
+    if (corrupted && *corrupted) {
+      ++collisions_;
+      return;
+    }
+    auto it = nodes_.find(to);
+    if (it == nodes_.end() || !it->second.alive) return;  // died in flight
+    ++deliveries_;
+    if (it->second.rx) it->second.rx(pkt, from);
+  });
+}
+
+void Medium::broadcast(NodeId sender, Packet pkt) {
+  const Transceiver& s = get(sender);
+  assert(s.alive && "dead node cannot transmit");
+  counters_->add(pkt.category());
+  const sim::Duration delay = frame_delay(pkt);
+  for (const NodeId id : index_.query_ball(s.pos, s.tx_range)) {
+    if (id == sender) continue;
+    const Transceiver& r = nodes_.at(id);
+    if (!r.alive) continue;
+    if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) continue;
+    deliver_later(id, pkt, sender, delay, /*collidable=*/true);
+  }
+}
+
+bool Medium::unicast(NodeId sender, NodeId target, Packet pkt) {
+  const Transceiver& s = get(sender);
+  assert(s.alive && "dead node cannot transmit");
+  (void)s;
+  auto it = nodes_.find(target);
+  const bool reachable =
+      it != nodes_.end() && it->second.alive && in_range(sender, target);
+
+  // 802.11-style ARQ: each attempt is one counted transmission; the sender
+  // learns of success/failure via the (implicit) link-layer ACK. A missing
+  // ACK (unreachable target or loss) triggers a retry up to the budget.
+  const int attempts = 1 + config_.unicast_retries;
+  for (int a = 0; a < attempts; ++a) {
+    counters_->add(pkt.category());
+    const bool lost =
+        config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability);
+    if (reachable && !lost) {
+      deliver_later(target, pkt, sender, frame_delay(pkt));
+      return true;
+    }
+    if (!reachable && config_.loss_probability == 0.0) return false;  // deterministic: retrying is futile
+  }
+  return false;
+}
+
+}  // namespace sensrep::net

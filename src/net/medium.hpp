@@ -1,0 +1,147 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/spatial_hash.hpp"
+#include "geometry/vec2.hpp"
+#include "metrics/counters.hpp"
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace sensrep::net {
+
+/// Radio / MAC parameters.
+///
+/// Stands in for GloMoSim's IEEE 802.11 stack (see DESIGN.md substitution 1):
+/// unit-disk connectivity with per-transmitter range, serialization at the
+/// nominal 11 Mbps bit-rate, uniform CSMA backoff jitter, and optional
+/// Bernoulli loss with 802.11-style unicast retransmission.
+struct RadioConfig {
+  double bitrate_bps = 11e6;      // nominal 802.11b rate (paper §4.1)
+  double max_backoff_s = 2e-3;    // CSMA contention jitter bound
+  double propagation_s = 1e-6;    // ~300 m at light speed; effectively 0
+  double loss_probability = 0.0;  // per-reception Bernoulli loss
+  int unicast_retries = 3;        // extra attempts after a lost unicast
+
+  /// Model collisions between overlapping *broadcast* frames at a receiver
+  /// (two frames on air at once corrupt each other). Unicasts stay
+  /// collision-free: 802.11 protects DATA with virtual carrier sense
+  /// (RTS/CTS) and recovers residual losses with ARQ, which the
+  /// loss_probability + unicast_retries knobs model. Off by default — the
+  /// paper reports contention is negligible at its traffic load, and this
+  /// flag exists to check that claim.
+  bool model_collisions = false;
+};
+
+/// The shared wireless medium.
+///
+/// Owns the ground-truth position/range/liveness of every transceiver and
+/// performs packet delivery: a broadcast reaches every *alive* node within
+/// the sender's transmission range; a unicast reaches only its target (with
+/// link-layer ARQ under loss). Every radio send increments the per-category
+/// transmission counter — the paper's messaging-overhead metric.
+class Medium {
+ public:
+  /// Called on packet reception: (packet, link-layer sender).
+  using ReceiveFn = std::function<void(const Packet&, NodeId from)>;
+
+  /// `bucket_size_m` tunes the spatial index; the sensor TX range is a good
+  /// choice. All references must outlive the medium.
+  Medium(sim::Simulator& simulator, sim::Rng rng, RadioConfig config,
+         metrics::TransmissionCounters& counters, double bucket_size_m = 63.0);
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Registers a transceiver. `tx_range` is this node's transmission range.
+  void attach(NodeId id, geometry::Vec2 pos, double tx_range, ReceiveFn rx);
+
+  /// Unregisters a transceiver (node permanently removed, not just failed).
+  void detach(NodeId id);
+
+  /// Moves a transceiver (robots).
+  void set_position(NodeId id, geometry::Vec2 pos);
+
+  /// Marks a node dead (failed sensor: no TX, no RX) or alive again.
+  void set_alive(NodeId id, bool alive);
+
+  [[nodiscard]] bool attached(NodeId id) const noexcept;
+  [[nodiscard]] bool alive(NodeId id) const;
+  [[nodiscard]] geometry::Vec2 position_of(NodeId id) const;
+  [[nodiscard]] double tx_range_of(NodeId id) const;
+
+  /// True if `receiver` is within `sender`'s transmission range (asymmetric:
+  /// the paper's robots transmit 250 m but sensors only 63 m).
+  [[nodiscard]] bool in_range(NodeId sender, NodeId receiver) const;
+
+  /// Alive nodes within the sender's TX range, excluding the sender,
+  /// ascending id order.
+  [[nodiscard]] std::vector<NodeId> neighbors_of(NodeId sender) const;
+
+  /// Alive nodes within `radius` of `pos`, ascending id order.
+  [[nodiscard]] std::vector<NodeId> nodes_near(geometry::Vec2 pos, double radius) const;
+
+  /// One-hop broadcast. Counts one transmission; schedules delivery to every
+  /// alive node in range after serialization + backoff delay.
+  void broadcast(NodeId sender, Packet pkt);
+
+  /// Link-layer unicast with ARQ. Counts one transmission per attempt.
+  /// Returns true if the frame was accepted for delivery (target alive, in
+  /// range, and not all attempts lost) — modeling the 802.11 ACK the sender
+  /// observes synchronously at this abstraction level.
+  bool unicast(NodeId sender, NodeId target, Packet pkt);
+
+  [[nodiscard]] const metrics::TransmissionCounters& counters() const noexcept {
+    return *counters_;
+  }
+
+  /// Books transmissions that are modeled analytically rather than as
+  /// delivered frames (beacons; see DESIGN.md substitution 3).
+  void account(metrics::MessageCategory c, std::uint64_t n = 1) noexcept {
+    counters_->add(c, n);
+  }
+
+  /// Total frames handed to receivers (diagnostics).
+  [[nodiscard]] std::uint64_t deliveries() const noexcept { return deliveries_; }
+
+  /// Broadcast frames destroyed by collisions (model_collisions only).
+  [[nodiscard]] std::uint64_t collisions() const noexcept { return collisions_; }
+
+ private:
+  struct Transceiver {
+    geometry::Vec2 pos;
+    double tx_range = 0.0;
+    bool alive = true;
+    ReceiveFn rx;
+  };
+
+  [[nodiscard]] const Transceiver& get(NodeId id) const;
+  [[nodiscard]] Transceiver& get(NodeId id);
+  [[nodiscard]] sim::Duration frame_delay(const Packet& pkt) noexcept;
+  [[nodiscard]] sim::Duration serialization_time(const Packet& pkt) const noexcept;
+  void deliver_later(NodeId to, Packet pkt, NodeId from, sim::Duration delay,
+                     bool collidable = false);
+
+  /// A frame's on-air interval at one receiver, with a corruption flag
+  /// shared between the scheduler and the delivery event.
+  struct PendingArrival {
+    sim::SimTime start;
+    sim::SimTime end;
+    std::shared_ptr<bool> corrupted;
+  };
+
+  sim::Simulator* sim_;
+  sim::Rng rng_;
+  RadioConfig config_;
+  metrics::TransmissionCounters* counters_;
+  geometry::SpatialHash index_;
+  std::unordered_map<NodeId, Transceiver> nodes_;
+  std::unordered_map<NodeId, std::vector<PendingArrival>> pending_;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace sensrep::net

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sensrep::net {
+
+/// Network-wide node identifier. Sensors, robots and the central manager
+/// share one id space (they share one wireless medium).
+using NodeId = std::uint32_t;
+
+/// "No node" sentinel (unset fields, failed lookups).
+inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+/// Link-layer broadcast destination (one-hop).
+inline constexpr NodeId kBroadcastId = 0xFFFFFFFEu;
+
+[[nodiscard]] constexpr bool is_real_node(NodeId id) noexcept {
+  return id != kNoNode && id != kBroadcastId;
+}
+
+}  // namespace sensrep::net

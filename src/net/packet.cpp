@@ -1,0 +1,54 @@
+#include "net/packet.hpp"
+
+namespace sensrep::net {
+
+std::string_view to_string(PacketType t) noexcept {
+  switch (t) {
+    case PacketType::kBeacon: return "beacon";
+    case PacketType::kLocationAnnounce: return "location_announce";
+    case PacketType::kGuardianConfirm: return "guardian_confirm";
+    case PacketType::kFailureReport: return "failure_report";
+    case PacketType::kRepairRequest: return "repair_request";
+    case PacketType::kLocationUpdate: return "location_update";
+    case PacketType::kReplacementAnnounce: return "replacement_announce";
+    case PacketType::kData: return "data";
+    case PacketType::kReportAck: return "report_ack";
+  }
+  return "?";
+}
+
+metrics::MessageCategory category_of(PacketType t) noexcept {
+  using metrics::MessageCategory;
+  switch (t) {
+    case PacketType::kBeacon: return MessageCategory::kBeacon;
+    case PacketType::kLocationAnnounce: return MessageCategory::kInitialization;
+    case PacketType::kGuardianConfirm: return MessageCategory::kGuardianConfirm;
+    case PacketType::kFailureReport: return MessageCategory::kFailureReport;
+    case PacketType::kRepairRequest: return MessageCategory::kRepairRequest;
+    case PacketType::kLocationUpdate: return MessageCategory::kLocationUpdate;
+    case PacketType::kReplacementAnnounce: return MessageCategory::kReplacement;
+    case PacketType::kData: return MessageCategory::kData;
+    case PacketType::kReportAck: return MessageCategory::kFailureReport;
+  }
+  return MessageCategory::kOther;
+}
+
+std::size_t Packet::size_bytes() const noexcept {
+  // IP header (20) + IP option with destination coordinates (12, paper §4.2)
+  // + application body.
+  constexpr std::size_t kHeader = 32;
+  switch (type) {
+    case PacketType::kBeacon: return kHeader + 8;
+    case PacketType::kLocationAnnounce: return kHeader + 16;
+    case PacketType::kGuardianConfirm: return kHeader + 8;
+    case PacketType::kFailureReport: return kHeader + 24;
+    case PacketType::kRepairRequest: return kHeader + 24;
+    case PacketType::kLocationUpdate: return kHeader + 24;
+    case PacketType::kReplacementAnnounce: return kHeader + 20;
+    case PacketType::kData: return kHeader + 48;  // sensing sample
+    case PacketType::kReportAck: return kHeader + 8;
+  }
+  return kHeader;
+}
+
+}  // namespace sensrep::net

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <variant>
+
+#include "geometry/vec2.hpp"
+#include "metrics/counters.hpp"
+#include "net/node_id.hpp"
+
+namespace sensrep::net {
+
+/// Application-level packet kinds used by the replacement system.
+enum class PacketType : std::uint8_t {
+  kBeacon,               // periodic liveness beacon (one-hop)
+  kLocationAnnounce,     // node/robot announces its location (init)
+  kGuardianConfirm,      // guardee confirms guardian relationship (one-hop)
+  kFailureReport,        // guardian -> manager, geo-routed
+  kRepairRequest,        // manager -> maintainer robot, geo-routed (centralized)
+  kLocationUpdate,       // robot -> manager (unicast) or -> sensors (flood)
+  kReplacementAnnounce,  // freshly unloaded node announces itself (one-hop)
+  kData,                 // application sensing report, geo-routed to a sink
+  kReportAck,            // manager -> reporting guardian (reliable reports)
+};
+
+[[nodiscard]] std::string_view to_string(PacketType t) noexcept;
+
+/// Maps a packet type to its accounting category (paper's Fig. 4 taxonomy).
+[[nodiscard]] metrics::MessageCategory category_of(PacketType t) noexcept;
+
+// --- Payloads -------------------------------------------------------------
+
+struct BeaconPayload {
+  geometry::Vec2 location;  // beacons carry the sender's location (paper §4.2)
+};
+
+struct LocationAnnouncePayload {
+  geometry::Vec2 location;
+};
+
+struct GuardianConfirmPayload {
+  NodeId guardee = kNoNode;
+};
+
+struct FailureReportPayload {
+  NodeId failed_node = kNoNode;
+  geometry::Vec2 failed_location;
+  std::uint64_t failure_id = 0;  // trace tag for metrics correlation
+  geometry::Vec2 reporter_location;  // where to geo-route the ACK (if enabled)
+};
+
+struct ReportAckPayload {
+  NodeId failed_node = kNoNode;  // which report is being acknowledged
+};
+
+struct RepairRequestPayload {
+  NodeId failed_node = kNoNode;
+  geometry::Vec2 failed_location;
+  std::uint64_t failure_id = 0;
+};
+
+struct LocationUpdatePayload {
+  NodeId robot = kNoNode;
+  geometry::Vec2 robot_location;
+  std::uint32_t update_seq = 0;  // per-robot sequence for flood dedup
+  std::uint32_t queue_len = 0;   // outstanding repair tasks (queue-aware dispatch)
+};
+
+struct ReplacementAnnouncePayload {
+  geometry::Vec2 location;
+  NodeId replaces = kNoNode;  // id of the failed node this unit replaces
+};
+
+struct DataPayload {
+  NodeId origin = kNoNode;
+  std::uint32_t sample_seq = 0;
+};
+
+using Payload =
+    std::variant<BeaconPayload, LocationAnnouncePayload, GuardianConfirmPayload,
+                 FailureReportPayload, RepairRequestPayload, LocationUpdatePayload,
+                 ReplacementAnnouncePayload, DataPayload, ReportAckPayload>;
+
+// --- Geographic routing header ---------------------------------------------
+
+/// GPSR/GFG forwarding mode carried in the packet header.
+enum class GeoMode : std::uint8_t {
+  kGreedy,     // forward to the neighbor geographically closest to dst
+  kPerimeter,  // face routing around a void, right-hand rule
+};
+
+/// Mutable routing state carried by geo-routed packets (GPSR header fields).
+struct GeoHeader {
+  GeoMode mode = GeoMode::kGreedy;
+  geometry::Vec2 entry_loc;      // Lp: where the packet entered perimeter mode
+  geometry::Vec2 face_entry;     // Lf: point where it entered the current face
+  NodeId first_edge_from = kNoNode;  // e0: first edge walked on current face
+  NodeId first_edge_to = kNoNode;    //     (revisit => undeliverable)
+};
+
+// --- Packet ----------------------------------------------------------------
+
+/// One application packet. Copied by value along the forwarding path; the
+/// payload variant is small enough that copying is cheaper than shared
+/// ownership bookkeeping.
+struct Packet {
+  PacketType type = PacketType::kBeacon;
+  NodeId src = kNoNode;                // originator
+  NodeId dst = kBroadcastId;           // final destination node
+  geometry::Vec2 dst_location;         // destination's (believed) location
+  std::uint32_t seq = 0;               // originator-scoped sequence number
+  std::uint32_t hops = 0;              // radio hops traversed so far
+  std::uint32_t ttl = 64;              // forwarding budget
+  GeoHeader geo;
+  Payload payload;
+
+  /// When set, transmissions of this packet are booked under this category
+  /// instead of category_of(type). Initialization floods reuse the
+  /// location-update machinery but are init cost, not Fig.-4 cost.
+  std::optional<metrics::MessageCategory> category_override;
+
+  [[nodiscard]] metrics::MessageCategory category() const noexcept {
+    return category_override.value_or(category_of(type));
+  }
+
+  /// On-air size, bytes: conservative fixed header + type-dependent body,
+  /// sized after GPSR's packet formats. Used for serialization delay only.
+  [[nodiscard]] std::size_t size_bytes() const noexcept;
+};
+
+}  // namespace sensrep::net

@@ -1,0 +1,34 @@
+#pragma once
+
+namespace sensrep::robot {
+
+/// Robot energy model, after Mei, Lu, Hu & Lee, "A Case Study of Mobile
+/// Robot's Energy Consumption and Conservation Techniques" (ICAR 2005) —
+/// the paper's own reference [9], from which it takes the Pioneer 3DX's
+/// 1 m/s speed. Measured there: total power while cruising at ~1 m/s is
+/// roughly 21 W (motors + embedded computer + sonar), and an idle-but-on
+/// robot draws roughly 6 W.
+///
+/// The paper's motion-overhead metric (Fig. 2) is distance, which is
+/// proportional to the *marginal* motion energy at constant speed; this
+/// model also accounts for the idle floor so deployments can budget
+/// batteries for a whole mission.
+struct EnergyModel {
+  double drive_power_w = 21.0;  // while moving at `speed`
+  double idle_power_w = 6.0;    // parked, radio on, waiting for requests
+  double speed_m_per_s = 1.0;
+
+  /// Marginal energy attributable to driving `distance_m` meters.
+  [[nodiscard]] double motion_energy_j(double distance_m) const noexcept {
+    return (drive_power_w - idle_power_w) * distance_m / speed_m_per_s;
+  }
+
+  /// Total energy for one robot over a mission: `distance_m` driven during
+  /// `mission_s` seconds of uptime.
+  [[nodiscard]] double mission_energy_j(double distance_m, double mission_s) const noexcept {
+    const double drive_time = distance_m / speed_m_per_s;
+    return drive_power_w * drive_time + idle_power_w * (mission_s - drive_time);
+  }
+};
+
+}  // namespace sensrep::robot

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "geometry/vec2.hpp"
+#include "net/medium.hpp"
+#include "net/packet.hpp"
+#include "robot/task_queue.hpp"
+#include "routing/geo_router.hpp"
+#include "routing/neighbor_table.hpp"
+#include "sim/simulator.hpp"
+#include "wsn/sensor_field.hpp"
+
+namespace sensrep::robot {
+
+class RobotNode;
+
+/// Algorithm-specific half of a robot's behavior (mirrors wsn::SensorPolicy).
+///
+/// The three coordination algorithms differ, on the robot side, in what a
+/// location update is (unicast to the central manager / subarea flood /
+/// Voronoi-scoped flood) and in who handles a delivered packet (forward to a
+/// maintainer vs. enqueue locally as the subarea manager).
+class RobotPolicy {
+ public:
+  virtual ~RobotPolicy() = default;
+
+  /// The robot moved one update-threshold leg (or arrived): emit the
+  /// algorithm's location updates now.
+  virtual void on_robot_location_update(RobotNode& robot) = 0;
+
+  /// A geo-routed packet was delivered to this robot.
+  virtual void on_robot_packet(RobotNode& robot, const net::Packet& pkt) = 0;
+
+  /// The robot finished a replacement (paper §2(c): "After replacing a
+  /// failed node, the maintainer robot may need to update the manager or
+  /// some sensors"). Default: nothing beyond the movement-leg updates.
+  virtual void on_robot_task_complete(RobotNode& /*robot*/) {}
+
+  /// The robot's queue drained (it is now idle). Policies may reposition it
+  /// (drive_to) — the anticipatory-repositioning extension. Default: park.
+  virtual void on_robot_idle(RobotNode& /*robot*/) {}
+};
+
+/// A mobile maintainer: picks, carries, and unloads sensor units
+/// (paper §1). Kinematic point robot at constant speed (Pioneer 3DX's 1 m/s),
+/// with the paper's on-demand mobility model: it moves only when tasked.
+///
+/// While driving, it emits location updates every `update_threshold` meters
+/// (20 m — under one third of the sensors' 63 m range, paper §4.2) through
+/// its RobotPolicy. Tasks are served FCFS.
+class RobotNode {
+ public:
+  struct Config {
+    double speed = 1.0;             // m/s
+    double tx_range = 250.0;        // robot/manager radio range, m
+    double update_threshold = 20.0; // location-update distance, m
+    /// Carried spare units; infinite by default (the paper does not model
+    /// restocking). With finite spares set `depot`: the robot drives there
+    /// to reload when empty.
+    std::size_t spares = std::numeric_limits<std::size_t>::max();
+    std::optional<geometry::Vec2> depot;
+  };
+
+  RobotNode(net::NodeId id, geometry::Vec2 pos, const Config& config,
+            sim::Simulator& simulator, net::Medium& medium, wsn::SensorField& field,
+            RobotPolicy& policy);
+
+  RobotNode(const RobotNode&) = delete;
+  RobotNode& operator=(const RobotNode&) = delete;
+
+  // --- state ---------------------------------------------------------------
+
+  [[nodiscard]] net::NodeId id() const noexcept { return id_; }
+  [[nodiscard]] geometry::Vec2 position() const noexcept { return pos_; }
+  [[nodiscard]] bool busy() const noexcept { return current_.has_value(); }
+  [[nodiscard]] const TaskQueue& queue() const noexcept { return queue_; }
+  [[nodiscard]] double odometer() const noexcept { return odometer_; }
+  [[nodiscard]] std::size_t repairs_done() const noexcept { return repairs_done_; }
+  [[nodiscard]] std::size_t spares_left() const noexcept { return spares_; }
+  [[nodiscard]] routing::GeoRouter& router() noexcept { return *router_; }
+  [[nodiscard]] routing::NeighborTable& table() noexcept { return table_; }
+
+  /// Monotone sequence for this robot's location updates (flood dedup).
+  [[nodiscard]] std::uint32_t next_update_seq() noexcept { return ++update_seq_; }
+  [[nodiscard]] std::uint32_t current_update_seq() const noexcept { return update_seq_; }
+
+  // --- control ---------------------------------------------------------------
+
+  /// Accepts a replacement job (from a manager — possibly this robot itself
+  /// in the distributed algorithms). Records dispatch metrics; duplicate
+  /// slots already queued or being served are ignored.
+  void enqueue(const RepairTask& task);
+
+  /// Instantly relocates an idle robot (initialization: the fixed algorithm
+  /// sends robots to their subarea centers before time starts; also tests).
+  /// Throws if the robot is busy.
+  void teleport(geometry::Vec2 pos);
+
+  /// Drives an idle robot to `pos` (counted movement, emits location
+  /// updates); used by the fixed algorithm's initialization when measuring
+  /// init motion. No replacement happens on arrival.
+  void drive_to(geometry::Vec2 pos);
+
+  /// Refreshes the neighbor table from the medium (alive nodes within this
+  /// robot's own TX range). See DESIGN.md: robot-side neighbor discovery is
+  /// abstracted as an oracle over the robot's 250 m range.
+  void refresh_neighbor_table();
+
+  /// Medium receive entry.
+  void on_packet(const net::Packet& pkt, net::NodeId from);
+
+ private:
+  void start_next_task();
+  void step_movement();
+  void arrive();
+  void begin_leg_to(geometry::Vec2 target);
+
+  net::NodeId id_;
+  geometry::Vec2 pos_;
+  Config config_;
+  sim::Simulator* sim_;
+  net::Medium* medium_;
+  wsn::SensorField* field_;
+  RobotPolicy* policy_;
+
+  routing::NeighborTable table_;
+  std::unique_ptr<routing::GeoRouter> router_;
+
+  TaskQueue queue_;
+  std::optional<RepairTask> current_;
+  geometry::Vec2 target_;
+  bool reloading_ = false;   // current drive is a depot run
+  bool init_drive_ = false;  // current drive is an init reposition
+  double task_travel_ = 0.0;
+  double odometer_ = 0.0;
+  std::size_t spares_;
+  std::size_t repairs_done_ = 0;
+  std::uint32_t update_seq_ = 0;
+  sim::EventId move_event_{};
+};
+
+}  // namespace sensrep::robot

@@ -1,0 +1,24 @@
+#include "robot/task_queue.hpp"
+
+#include <algorithm>
+
+namespace sensrep::robot {
+
+std::optional<RepairTask> TaskQueue::pop() {
+  if (tasks_.empty()) return std::nullopt;
+  RepairTask t = tasks_.front();
+  tasks_.pop_front();
+  return t;
+}
+
+std::optional<RepairTask> TaskQueue::front() const {
+  if (tasks_.empty()) return std::nullopt;
+  return tasks_.front();
+}
+
+bool TaskQueue::contains_slot(net::NodeId slot) const noexcept {
+  return std::any_of(tasks_.begin(), tasks_.end(),
+                     [slot](const RepairTask& t) { return t.slot == slot; });
+}
+
+}  // namespace sensrep::robot

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "geometry/vec2.hpp"
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace sensrep::robot {
+
+/// One replacement job: drive to `location` and unload a functional unit
+/// into sensor slot `slot`.
+struct RepairTask {
+  net::NodeId slot = net::kNoNode;
+  geometry::Vec2 location;
+  std::uint64_t failure_id = 0;  // metrics tag (0 = untagged)
+  sim::SimTime enqueued_at = 0.0;
+};
+
+/// First-come-first-serve task queue (paper §3.1: "A robot queues such
+/// requests and handles the failures in a first-come-first-serve fashion").
+class TaskQueue {
+ public:
+  void push(RepairTask task) { tasks_.push_back(task); }
+
+  /// Pops the oldest task; nullopt when empty.
+  std::optional<RepairTask> pop();
+
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+
+  /// Oldest pending task without removing it; nullopt when empty.
+  [[nodiscard]] std::optional<RepairTask> front() const;
+
+  /// True if a task for this slot is already queued (duplicate suppression).
+  [[nodiscard]] bool contains_slot(net::NodeId slot) const noexcept;
+
+ private:
+  std::deque<RepairTask> tasks_;
+};
+
+}  // namespace sensrep::robot

@@ -1,0 +1,55 @@
+#include "routing/face_routing.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace sensrep::routing {
+
+using geometry::Vec2;
+
+std::optional<NeighborEntry> right_hand_neighbor(Vec2 self, Vec2 ref_dir,
+                                                 const std::vector<NeighborEntry>& planar,
+                                                 net::NodeId from) {
+  if (planar.empty()) return std::nullopt;
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  const double ref = geometry::angle_of(ref_dir);
+
+  std::optional<NeighborEntry> best;
+  double best_key = std::numeric_limits<double>::infinity();
+  double best_d2 = 0.0;
+
+  for (const NeighborEntry& n : planar) {
+    const Vec2 d = n.pos - self;
+    if (d == Vec2{}) continue;  // co-located: no direction, skip
+    double delta = geometry::angle_of(d) - ref;
+    delta = std::fmod(delta, kTwoPi);
+    if (delta < 0.0) delta += kTwoPi;
+    // The incoming edge sorts last: taking it means a full sweep found
+    // nothing else (dead end), per the right-hand rule.
+    if (n.id == from) delta = kTwoPi;
+    const double d2 = geometry::distance2(n.pos, self);
+    const bool better =
+        delta < best_key ||
+        (delta == best_key && (!best || d2 < best_d2 || (d2 == best_d2 && n.id < best->id)));
+    if (better) {
+      best_key = delta;
+      best_d2 = d2;
+      best = n;
+    }
+  }
+  return best;
+}
+
+std::optional<Vec2> face_change_point(Vec2 self, Vec2 candidate, Vec2 perimeter_entry,
+                                      Vec2 dst, Vec2 face_entry) noexcept {
+  const auto hit = geometry::segment_intersection({self, candidate}, {perimeter_entry, dst});
+  if (!hit) return std::nullopt;
+  // Require strict progress along LpD; the epsilon guards against re-firing
+  // on the same crossing due to floating-point noise.
+  constexpr double kEps = 1e-9;
+  if (geometry::distance(*hit, dst) + kEps < geometry::distance(face_entry, dst)) return hit;
+  return std::nullopt;
+}
+
+}  // namespace sensrep::routing

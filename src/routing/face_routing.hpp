@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/segment.hpp"
+#include "geometry/vec2.hpp"
+#include "net/node_id.hpp"
+#include "routing/neighbor_table.hpp"
+
+namespace sensrep::routing {
+
+/// Right-hand-rule edge selection (GPSR §2.2).
+///
+/// Returns the neighbor whose bearing from `self` is the first one
+/// counterclockwise from the reference direction `ref_dir`. The node the
+/// packet arrived from (`from`, may be kNoNode) is eligible only as the last
+/// resort — walking back along the incoming edge is exactly what the
+/// right-hand rule prescribes at a dead end.
+///
+/// A neighbor exactly collinear with `ref_dir` is taken first (angle 0),
+/// which matches "the first edge counterclockwise from the line xD" on
+/// perimeter entry. Ties (identical bearings) break toward the closer node,
+/// then the lower id.
+[[nodiscard]] std::optional<NeighborEntry> right_hand_neighbor(
+    geometry::Vec2 self, geometry::Vec2 ref_dir,
+    const std::vector<NeighborEntry>& planar, net::NodeId from);
+
+/// Face-change test (GPSR §2.4).
+///
+/// If the candidate edge self→candidate crosses the segment Lp→dst at a
+/// point strictly closer to dst than the current face-entry point Lf,
+/// returns that intersection (the packet should hop to the next face there).
+[[nodiscard]] std::optional<geometry::Vec2> face_change_point(
+    geometry::Vec2 self, geometry::Vec2 candidate, geometry::Vec2 perimeter_entry,
+    geometry::Vec2 dst, geometry::Vec2 face_entry) noexcept;
+
+}  // namespace sensrep::routing

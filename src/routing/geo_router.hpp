@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "net/medium.hpp"
+#include "net/packet.hpp"
+#include "routing/neighbor_table.hpp"
+#include "routing/planarizer.hpp"
+
+namespace sensrep::routing {
+
+/// Reasons a geo-routed packet can be discarded (diagnostics & tests).
+enum class DropReason {
+  kTtlExpired,
+  kNoNeighbors,
+  kFaceLoop,     // perimeter walked back onto its first edge: unreachable
+  kLinkFailure,  // every candidate next hop failed at the link layer
+};
+
+[[nodiscard]] std::string_view to_string(DropReason r) noexcept;
+
+/// Per-node geographic router: greedy forwarding with face-routing recovery,
+/// after GPSR (Karp & Kung 2000) / GFG (Bose et al. 1999) — the stack the
+/// paper states it implements on GloMoSim (§4.2).
+///
+/// One instance lives on every routable node (sensor or robot). It consults
+/// the node's NeighborTable, transmits via the shared Medium, and hands
+/// packets destined to this node to the `deliver` callback.
+class GeoRouter {
+ public:
+  struct Callbacks {
+    /// Packet whose dst is this node (or that was addressed to this node's
+    /// location and arrived). Required.
+    std::function<void(const net::Packet&)> deliver;
+    /// Packet this node had to discard. Optional.
+    std::function<void(const net::Packet&, DropReason)> drop;
+  };
+
+  /// `position` supplies the node's current location (robots move).
+  GeoRouter(net::NodeId self, net::Medium& medium, NeighborTable& table,
+            std::function<geometry::Vec2()> position, Callbacks callbacks,
+            PlanarGraph planar_kind = PlanarGraph::kGabriel);
+
+  GeoRouter(const GeoRouter&) = delete;
+  GeoRouter& operator=(const GeoRouter&) = delete;
+
+  /// Originates a geo-routed packet. pkt.dst and pkt.dst_location must be
+  /// set; pkt.src/seq are stamped here.
+  void send(net::Packet pkt);
+
+  /// Entry point for received geo-routed packets (wired by the owning node's
+  /// receive dispatch).
+  void on_receive(const net::Packet& pkt, net::NodeId from);
+
+  [[nodiscard]] net::NodeId self() const noexcept { return self_; }
+  [[nodiscard]] NeighborTable& table() noexcept { return *table_; }
+
+  /// Packets discarded by this router, by reason (diagnostics).
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+
+ private:
+  void forward(net::Packet pkt, net::NodeId from);
+  /// Attempts one greedy hop; returns false when no neighbor makes progress.
+  bool greedy_hop(net::Packet& pkt);
+  /// Attempts one perimeter hop; returns false on drop.
+  bool perimeter_hop(net::Packet& pkt, net::NodeId from);
+  void drop_packet(const net::Packet& pkt, DropReason reason);
+  /// Unicast wrapper that evicts dead next hops and reports link success.
+  bool try_unicast(net::NodeId next, const net::Packet& pkt);
+
+  net::NodeId self_;
+  net::Medium* medium_;
+  NeighborTable* table_;
+  std::function<geometry::Vec2()> position_;
+  Callbacks callbacks_;
+  PlanarGraph planar_kind_;
+  std::uint32_t next_seq_ = 1;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace sensrep::routing

@@ -1,0 +1,53 @@
+#include "routing/neighbor_table.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sensrep::routing {
+
+using geometry::Vec2;
+
+void NeighborTable::upsert(net::NodeId id, Vec2 pos) { entries_[id] = pos; }
+
+void NeighborTable::remove(net::NodeId id) { entries_.erase(id); }
+
+bool NeighborTable::contains(net::NodeId id) const noexcept { return entries_.contains(id); }
+
+std::optional<Vec2> NeighborTable::position_of(net::NodeId id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NeighborEntry> NeighborTable::entries() const {
+  std::vector<NeighborEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, pos] : entries_) out.push_back({id, pos});
+  std::sort(out.begin(), out.end(),
+            [](const NeighborEntry& a, const NeighborEntry& b) { return a.id < b.id; });
+  return out;
+}
+
+std::optional<NeighborEntry> NeighborTable::closest_to(Vec2 target) const {
+  std::optional<NeighborEntry> best;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (const auto& [id, pos] : entries_) {
+    const double d2 = geometry::distance2(pos, target);
+    // Tie-break toward the lower id for determinism across hash orders.
+    if (d2 < best_d2 || (d2 == best_d2 && best && id < best->id)) {
+      best_d2 = d2;
+      best = NeighborEntry{id, pos};
+    }
+  }
+  return best;
+}
+
+std::optional<NeighborEntry> NeighborTable::closest_to_with_progress(Vec2 target,
+                                                                     double than) const {
+  auto best = closest_to(target);
+  if (!best) return std::nullopt;
+  if (geometry::distance(best->pos, target) >= than) return std::nullopt;
+  return best;
+}
+
+}  // namespace sensrep::routing

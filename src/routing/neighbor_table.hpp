@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "net/node_id.hpp"
+
+namespace sensrep::routing {
+
+/// One-hop neighbor as known locally (from location announcements / beacons).
+struct NeighborEntry {
+  net::NodeId id = net::kNoNode;
+  geometry::Vec2 pos;
+};
+
+/// Per-node table of one-hop neighbors with their advertised locations.
+///
+/// Ownership of freshness policy is deliberately outside this class: the WSN
+/// layer inserts entries when a neighbor announces itself and removes them
+/// when the neighbor is declared failed (3 missed beacons) or a robot moves
+/// out of range — see DESIGN.md substitution 3 for why this is equivalent to
+/// per-beacon refresh for static nodes.
+class NeighborTable {
+ public:
+  /// Adds or refreshes a neighbor's advertised position.
+  void upsert(net::NodeId id, geometry::Vec2 pos);
+
+  /// Removes a neighbor; no-op if absent.
+  void remove(net::NodeId id);
+
+  [[nodiscard]] bool contains(net::NodeId id) const noexcept;
+  [[nodiscard]] std::optional<geometry::Vec2> position_of(net::NodeId id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Snapshot of all entries, ascending id (deterministic iteration).
+  [[nodiscard]] std::vector<NeighborEntry> entries() const;
+
+  /// Neighbor geographically closest to `target`; nullopt when empty.
+  [[nodiscard]] std::optional<NeighborEntry> closest_to(geometry::Vec2 target) const;
+
+  /// Neighbor closest to `target` and strictly closer than `than` (greedy
+  /// forwarding candidate); nullopt when no neighbor makes progress.
+  [[nodiscard]] std::optional<NeighborEntry> closest_to_with_progress(
+      geometry::Vec2 target, double than) const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::unordered_map<net::NodeId, geometry::Vec2> entries_;
+};
+
+}  // namespace sensrep::routing

@@ -1,0 +1,51 @@
+#include "routing/planarizer.hpp"
+
+#include <algorithm>
+
+namespace sensrep::routing {
+
+using geometry::Vec2;
+
+bool edge_survives(PlanarGraph kind, Vec2 self, const NeighborEntry& candidate,
+                   const std::vector<NeighborEntry>& witnesses) noexcept {
+  const Vec2 u = self;
+  const Vec2 v = candidate.pos;
+  switch (kind) {
+    case PlanarGraph::kGabriel: {
+      const Vec2 mid = geometry::midpoint(u, v);
+      const double r2 = geometry::distance2(u, v) * 0.25;  // (|uv|/2)^2
+      for (const NeighborEntry& w : witnesses) {
+        if (w.id == candidate.id) continue;
+        // Strictly inside the diameter circle kills the edge; boundary points
+        // (three collinear equally-spaced nodes) keep it, matching GPSR.
+        if (geometry::distance2(w.pos, mid) < r2) return false;
+      }
+      return true;
+    }
+    case PlanarGraph::kRelativeNeighborhood: {
+      const double d2 = geometry::distance2(u, v);
+      for (const NeighborEntry& w : witnesses) {
+        if (w.id == candidate.id) continue;
+        if (geometry::distance2(w.pos, u) < d2 && geometry::distance2(w.pos, v) < d2) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+std::vector<NeighborEntry> planar_neighbors(PlanarGraph kind, Vec2 self,
+                                            const std::vector<NeighborEntry>& neighbors) {
+  std::vector<NeighborEntry> out;
+  out.reserve(neighbors.size());
+  for (const NeighborEntry& n : neighbors) {
+    if (edge_survives(kind, self, n, neighbors)) out.push_back(n);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NeighborEntry& a, const NeighborEntry& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace sensrep::routing

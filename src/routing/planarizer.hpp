@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "routing/neighbor_table.hpp"
+
+namespace sensrep::routing {
+
+/// Local planarization of the one-hop neighborhood graph.
+///
+/// Face routing is only correct on a planar subgraph; GPSR/GFG build one with
+/// purely local tests. We implement both classic constructions:
+///
+///  * Gabriel Graph (GG): keep edge (u,v) iff no known witness w lies inside
+///    the circle with diameter uv.
+///  * Relative Neighborhood Graph (RNG): keep (u,v) iff no witness w with
+///    max(d(u,w), d(v,w)) < d(u,v) (the lune test); RNG ⊆ GG.
+///
+/// Witnesses come from u's own neighbor table — exactly the information a
+/// real node has. Both tests keep connectivity of the unit-disk graph.
+enum class PlanarGraph {
+  kGabriel,
+  kRelativeNeighborhood,
+};
+
+/// True if edge (self—candidate) survives the chosen planarity test given
+/// the locally known `witnesses` (entries equal to candidate are skipped).
+[[nodiscard]] bool edge_survives(PlanarGraph kind, geometry::Vec2 self,
+                                 const NeighborEntry& candidate,
+                                 const std::vector<NeighborEntry>& witnesses) noexcept;
+
+/// Filters a neighbor set down to the planar subgraph edges incident to
+/// `self`. Returned in ascending id order.
+[[nodiscard]] std::vector<NeighborEntry> planar_neighbors(
+    PlanarGraph kind, geometry::Vec2 self, const std::vector<NeighborEntry>& neighbors);
+
+}  // namespace sensrep::routing

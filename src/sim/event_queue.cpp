@@ -1,0 +1,44 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace sensrep::sim {
+
+EventId EventQueue::schedule(SimTime t, Callback cb) {
+  if (!is_valid_time(t)) throw std::invalid_argument("EventQueue::schedule: invalid time");
+  if (!cb) throw std::invalid_argument("EventQueue::schedule: null callback");
+  const EventId id{next_seq_++};
+  heap_.push(HeapEntry{t, id.value, id});
+  live_.emplace(id.value, std::move(cb));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) noexcept {
+  return live_.erase(id.value) > 0;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && !live_.contains(heap_.top().id.value)) heap_.pop();
+}
+
+SimTime EventQueue::next_time() const {
+  const_cast<EventQueue*>(this)->skim();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  skim();
+  assert(!heap_.empty());
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  auto it = live_.find(top.id.value);
+  assert(it != live_.end());
+  Popped out{top.time, top.id, std::move(it->second)};
+  live_.erase(it);
+  return out;
+}
+
+}  // namespace sensrep::sim

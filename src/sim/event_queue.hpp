@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sensrep::sim {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+struct EventId {
+  std::uint64_t value = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return value != 0; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// Priority queue of timestamped callbacks with O(log n) schedule/pop and
+/// O(1) cancellation.
+///
+/// Ordering invariant: events pop in nondecreasing time order; events with
+/// equal timestamps pop in schedule order (monotone sequence number). This
+/// makes simulation runs bit-reproducible for a fixed seed.
+///
+/// Cancellation is lazy: cancel() erases the callback from the live map and
+/// the heap entry is skipped when it surfaces, so cancel() never needs to
+/// re-heapify.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `t`. Requires is_valid_time(t).
+  EventId schedule(SimTime t, Callback cb);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or the id was never issued.
+  bool cancel(EventId id) noexcept;
+
+  /// True if there is at least one live (non-cancelled) event pending.
+  [[nodiscard]] bool empty() const noexcept { return live_.empty(); }
+
+  /// Number of live pending events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_.size(); }
+
+  /// Timestamp of the earliest live event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops the earliest live event and returns its (time, callback).
+  /// Requires !empty().
+  struct Popped {
+    SimTime time;
+    EventId id;
+    Callback callback;
+  };
+  Popped pop();
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Discards cancelled entries from the top of the heap.
+  void skim();
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  std::unordered_map<std::uint64_t, Callback> live_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace sensrep::sim

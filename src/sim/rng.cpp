@@ -1,0 +1,107 @@
+#include "sim/rng.hpp"
+
+#include <cassert>
+#include <numbers>
+#include <cmath>
+
+namespace sensrep::sim {
+
+namespace {
+
+// SplitMix64: expands a 64-bit seed into well-mixed state words.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// FNV-1a over a component name, used to derive child-stream seeds.
+std::uint64_t hash_name(std::string_view name) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  // xoshiro's all-zero state is a fixed point; SplitMix64 cannot produce four
+  // zero words from any seed, but keep the guard for safety.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+Rng Rng::fork(std::string_view component) const noexcept {
+  // Mix the parent's seed with the component name; the multiplication by an
+  // odd constant decorrelates sibling streams whose names share prefixes.
+  const std::uint64_t child = seed_ ^ (hash_name(component) * 0x9E3779B97F4A7C15ULL);
+  return Rng{child};
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() noexcept {
+  // 53 top bits -> double in [0, 1) with full mantissa resolution.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  assert(n > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::exponential(double mean) noexcept {
+  assert(mean > 0.0);
+  // Inverse CDF; 1 - u is in (0, 1] so log() never sees zero.
+  return -mean * std::log(1.0 - uniform01());
+}
+
+bool Rng::chance(double p) noexcept { return uniform01() < p; }
+
+double Rng::normal(double mean, double stddev) noexcept {
+  assert(stddev >= 0.0);
+  // Box–Muller, single variate per call: spares the caller spare-caching
+  // state at the cost of one extra log/sqrt — irrelevant at our call rates.
+  const double u1 = 1.0 - uniform01();  // (0, 1]: log never sees zero
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace sensrep::sim

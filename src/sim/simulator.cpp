@@ -1,0 +1,86 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sensrep::sim {
+
+EventId Simulator::at(SimTime t, Callback cb) {
+  if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
+  return queue_.schedule(t, std::move(cb));
+}
+
+EventId Simulator::in(Duration delay, Callback cb) {
+  if (delay < 0.0) throw std::invalid_argument("Simulator::in: negative delay");
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::every(Duration period, std::function<void()> cb) {
+  if (period <= 0.0) throw std::invalid_argument("Simulator::every: period must be positive");
+  auto state = std::make_shared<PeriodicState>();
+  auto body = std::make_shared<std::function<void()>>(std::move(cb));
+
+  // Self re-arming wrapper. `arm` owns itself through the capture, living as
+  // long as an occurrence is pending; cancellation drops the last reference.
+  auto arm = std::make_shared<std::function<void()>>();
+  *arm = [this, state, body, period, arm] {
+    (*body)();
+    if (state->cancelled) return;  // cancel() ran inside the callback
+    state->current = queue_.schedule(now_ + period, [arm] { (*arm)(); });
+  };
+  state->current = queue_.schedule(now_ + period, [arm] { (*arm)(); });
+  const EventId head = state->current;
+  periodic_.emplace(head.value, state);
+  return head;
+}
+
+bool Simulator::cancel(EventId id) noexcept {
+  if (auto it = periodic_.find(id.value); it != periodic_.end()) {
+    auto state = it->second;
+    const bool was_live = !state->cancelled;
+    state->cancelled = true;
+    queue_.cancel(state->current);
+    periodic_.erase(it);
+    return was_live;
+  }
+  return queue_.cancel(id);
+}
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  std::uint64_t n = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > horizon) break;
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ev.callback();
+    ++executed_;
+    ++n;
+  }
+  if (now_ < horizon && !stop_requested_) now_ = horizon;
+  return n;
+}
+
+std::uint64_t Simulator::run_all() {
+  std::uint64_t n = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    auto ev = queue_.pop();
+    now_ = ev.time;
+    ev.callback();
+    ++executed_;
+    ++n;
+  }
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto ev = queue_.pop();
+  now_ = ev.time;
+  ev.callback();
+  ++executed_;
+  return true;
+}
+
+}  // namespace sensrep::sim

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace sensrep::sim {
+
+/// Discrete-event simulation engine.
+///
+/// Owns the virtual clock and the event queue. All model components schedule
+/// work through this class; none keeps its own notion of time. The engine is
+/// single-threaded by design — wireless protocol simulations are dominated by
+/// tiny events, and determinism is worth more here than parallelism.
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time (seconds).
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `t`. Requires t >= now().
+  EventId at(SimTime t, Callback cb);
+
+  /// Schedules `cb` after a delay. Requires delay >= 0.
+  EventId in(Duration delay, Callback cb);
+
+  /// Schedules `cb` every `period` seconds starting at now()+period, until
+  /// the returned id is cancelled. Requires period > 0. The id returned
+  /// identifies the whole series: cancelling it stops all future occurrences,
+  /// including when called from inside the callback itself.
+  EventId every(Duration period, std::function<void()> cb);
+
+  /// Cancels a pending one-shot event or a periodic series.
+  bool cancel(EventId id) noexcept;
+
+  /// Runs events until the queue drains or the clock passes `horizon`.
+  /// Events scheduled exactly at `horizon` still run, and the clock lands on
+  /// `horizon` afterwards. Returns the number of events executed.
+  std::uint64_t run_until(SimTime horizon);
+
+  /// Runs every pending event to queue exhaustion. Returns events executed.
+  std::uint64_t run_all();
+
+  /// Executes at most one pending event. Returns false if the queue is empty.
+  bool step();
+
+  /// Requests that run_until()/run_all() return after the current event.
+  void stop() noexcept { stop_requested_ = true; }
+
+  /// Live pending events (diagnostics).
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Total events executed since construction (diagnostics).
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct PeriodicState {
+    EventId current;        // id of the currently-armed occurrence
+    bool cancelled = false; // set by cancel(); stops re-arming
+  };
+
+  EventQueue queue_;
+  // series-head id -> state, so cancel(head) works across re-arms
+  std::unordered_map<std::uint64_t, std::shared_ptr<PeriodicState>> periodic_;
+  SimTime now_ = 0.0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace sensrep::sim

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace sensrep::sim {
+
+/// Simulation time in seconds since the start of the run.
+///
+/// A plain double keeps the arithmetic natural for kinematics (distance /
+/// speed) while the event queue guarantees deterministic ordering of
+/// same-timestamp events via a monotone sequence number, so double's
+/// rounding never makes runs non-reproducible.
+using SimTime = double;
+
+/// Duration in seconds.
+using Duration = double;
+
+/// Sentinel for "never" / unset timestamps.
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+
+/// True when `t` is a real (finite, non-negative) simulation timestamp.
+[[nodiscard]] constexpr bool is_valid_time(SimTime t) noexcept {
+  return t >= 0.0 && t < kNever;
+}
+
+}  // namespace sensrep::sim

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace sensrep::trace {
+
+/// Kinds of system-level events worth persisting for offline analysis.
+enum class EventKind : std::uint8_t {
+  kFailure,      // a sensor unit died
+  kDetection,    // a guardian declared it dead
+  kReport,       // the report reached a manager
+  kDispatch,     // a robot was tasked
+  kReplacement,  // the replacement unit powered on
+  kRobotMove,    // a robot finished one movement leg
+};
+
+[[nodiscard]] std::string_view to_string(EventKind k) noexcept;
+
+/// One trace record. Field use depends on the kind; unused ids are 0-value.
+struct Event {
+  sim::SimTime time = 0.0;
+  EventKind kind = EventKind::kFailure;
+  std::uint32_t node = 0;                 // sensor slot or robot id
+  std::optional<std::uint32_t> actor;     // robot/guardian involved, if any
+  std::optional<geometry::Vec2> location;
+  std::optional<double> value;            // kind-specific scalar (hops, meters)
+};
+
+/// Append-only, queryable event log with JSON-lines export.
+///
+/// The simulation pushes system events here (opt-in; see
+/// Simulation::attach_event_log); examples and the CLI dump the log for
+/// offline plotting, and tests assert on event sequences instead of poking
+/// internals.
+class EventLog {
+ public:
+  void record(Event e) { events_.push_back(e); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+
+  /// Events of one kind, in record order.
+  [[nodiscard]] std::vector<Event> of_kind(EventKind k) const;
+
+  /// Events concerning a node (as subject), in record order.
+  [[nodiscard]] std::vector<Event> about_node(std::uint32_t node) const;
+
+  /// Serializes one event as a single JSON object (no trailing newline).
+  [[nodiscard]] static std::string to_json(const Event& e);
+
+  /// Writes the whole log as JSON lines.
+  void write_jsonl(std::ostream& out) const;
+
+  /// Writes to a file; returns false on I/O failure.
+  [[nodiscard]] bool save_jsonl(const std::string& path) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace sensrep::trace

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace sensrep::trace {
+
+/// printf-style formatting into a std::string.
+///
+/// The toolchain here (GCC 12) predates <format>, so this thin vsnprintf
+/// wrapper is the project-wide formatting primitive. The attribute gives the
+/// same compile-time argument checking printf gets.
+[[gnu::format(printf, 1, 2)]]
+inline std::string strfmt(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    // +1: vsnprintf writes the terminator; std::string guarantees data()[n]
+    // is writable storage for it since C++11.
+    std::vsnprintf(out.data(), static_cast<std::size_t>(n) + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+}  // namespace sensrep::trace

@@ -1,0 +1,33 @@
+#include "trace/log.hpp"
+
+#include <iostream>
+
+namespace sensrep::trace {
+
+std::string_view to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(Level level, sim::SimTime now, std::string_view component,
+                 std::string_view message) {
+  if (!enabled(level)) return;
+  (*out_) << strfmt("[%10.3fs] %-5s %.*s: %.*s\n", now,
+                    std::string(to_string(level)).c_str(),
+                    static_cast<int>(component.size()), component.data(),
+                    static_cast<int>(message.size()), message.data());
+}
+
+Logger& Logger::global() {
+  static Logger logger{std::clog, Level::kWarn};
+  return logger;
+}
+
+}  // namespace sensrep::trace

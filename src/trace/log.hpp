@@ -1,0 +1,65 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+#include "trace/format.hpp"
+
+namespace sensrep::trace {
+
+enum class Level : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] std::string_view to_string(Level level) noexcept;
+
+/// Simulation-aware leveled logger.
+///
+/// Each line is prefixed with the virtual timestamp of the simulation that
+/// emitted it, which makes traces directly comparable across algorithms and
+/// seeds. Disabled levels cost one branch (formatting is skipped by callers
+/// via enabled()).
+///
+/// Not thread-safe; the simulator is single-threaded by design.
+class Logger {
+ public:
+  /// Logs to `out` (typically std::clog); the stream must outlive the logger.
+  explicit Logger(std::ostream& out, Level threshold = Level::kWarn)
+      : out_(&out), threshold_(threshold) {}
+
+  void set_threshold(Level level) noexcept { threshold_ = level; }
+  [[nodiscard]] Level threshold() const noexcept { return threshold_; }
+
+  [[nodiscard]] bool enabled(Level level) const noexcept {
+    return level >= threshold_ && threshold_ != Level::kOff;
+  }
+
+  /// Logs a pre-formatted message at virtual time `now`.
+  void log(Level level, sim::SimTime now, std::string_view component,
+           std::string_view message);
+
+  /// Logs with printf semantics: logf(level, now, "net", "drop seq=%u", s).
+  template <typename... Args>
+  void logf(Level level, sim::SimTime now, std::string_view component, const char* fmt,
+            Args&&... args) {
+    if (!enabled(level)) return;
+    log(level, now, component, strfmt(fmt, std::forward<Args>(args)...));
+  }
+
+  /// Process-wide default logger (stderr, kWarn). Components that are not
+  /// handed a logger explicitly fall back to this one.
+  [[nodiscard]] static Logger& global();
+
+ private:
+  std::ostream* out_;
+  Level threshold_;
+};
+
+}  // namespace sensrep::trace

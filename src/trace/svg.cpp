@@ -1,0 +1,96 @@
+#include "trace/svg.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "trace/format.hpp"
+
+namespace sensrep::trace {
+
+using geometry::ConvexPolygon;
+using geometry::Rect;
+using geometry::Vec2;
+
+SvgWriter::SvgWriter(const Rect& bounds, double pixel_width)
+    : bounds_(bounds), pixel_width_(pixel_width) {}
+
+double SvgWriter::scale() const noexcept { return pixel_width_ / bounds_.width(); }
+
+Vec2 SvgWriter::to_px(Vec2 p) const noexcept {
+  // Flip y so that larger field-y draws toward the top of the image.
+  return {(p.x - bounds_.min.x) * scale(), (bounds_.max.y - p.y) * scale()};
+}
+
+void SvgWriter::add_circle(Vec2 center, double radius_m, std::string_view fill,
+                           std::string_view stroke, double opacity) {
+  const Vec2 c = to_px(center);
+  elements_.push_back(strfmt(
+      R"(<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s" stroke="%s" opacity="%.3f"/>)",
+      c.x, c.y, radius_m * scale(), std::string(fill).c_str(), std::string(stroke).c_str(),
+      opacity));
+}
+
+void SvgWriter::add_line(Vec2 a, Vec2 b, std::string_view stroke, double width_m,
+                         bool dashed) {
+  const Vec2 pa = to_px(a);
+  const Vec2 pb = to_px(b);
+  elements_.push_back(strfmt(
+      R"(<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"%s/>)",
+      pa.x, pa.y, pb.x, pb.y, std::string(stroke).c_str(), width_m * scale(),
+      dashed ? R"( stroke-dasharray="6 4")" : ""));
+}
+
+void SvgWriter::add_polyline(const std::vector<Vec2>& points, std::string_view stroke,
+                             double width_m) {
+  if (points.size() < 2) return;
+  std::string pts;
+  for (const Vec2 p : points) {
+    const Vec2 px = to_px(p);
+    pts += strfmt("%.2f,%.2f ", px.x, px.y);
+  }
+  elements_.push_back(
+      strfmt(R"(<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f"/>)",
+             pts.c_str(), std::string(stroke).c_str(), width_m * scale()));
+}
+
+void SvgWriter::add_polygon(const ConvexPolygon& poly, std::string_view fill,
+                            std::string_view stroke, double opacity) {
+  if (poly.empty()) return;
+  std::string pts;
+  for (const Vec2 p : poly.vertices()) {
+    const Vec2 px = to_px(p);
+    pts += strfmt("%.2f,%.2f ", px.x, px.y);
+  }
+  elements_.push_back(
+      strfmt(R"(<polygon points="%s" fill="%s" stroke="%s" fill-opacity="%.3f"/>)",
+             pts.c_str(), std::string(fill).c_str(), std::string(stroke).c_str(), opacity));
+}
+
+void SvgWriter::add_text(Vec2 pos, std::string_view text, double size_m,
+                         std::string_view fill) {
+  const Vec2 p = to_px(pos);
+  elements_.push_back(strfmt(
+      R"(<text x="%.2f" y="%.2f" font-size="%.1f" fill="%s" font-family="sans-serif">%s</text>)",
+      p.x, p.y, size_m * scale(), std::string(fill).c_str(), std::string(text).c_str()));
+}
+
+std::string SvgWriter::render() const {
+  const double height = bounds_.height() * scale();
+  std::ostringstream out;
+  out << strfmt(
+      R"(<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">)",
+      pixel_width_, height, pixel_width_, height);
+  out << "\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const auto& e : elements_) out << e << '\n';
+  out << "</svg>\n";
+  return out.str();
+}
+
+bool SvgWriter::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << render();
+  return static_cast<bool>(f);
+}
+
+}  // namespace sensrep::trace

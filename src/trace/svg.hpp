@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "geometry/rect.hpp"
+#include "geometry/vec2.hpp"
+
+namespace sensrep::trace {
+
+/// Tiny SVG scene builder for field visualizations (examples/voronoi_svg).
+///
+/// Coordinates are in field meters; render() flips the y axis so north is up
+/// and scales to the requested pixel width.
+class SvgWriter {
+ public:
+  /// `bounds` is the field extent; `pixel_width` the output image width.
+  SvgWriter(const geometry::Rect& bounds, double pixel_width = 800.0);
+
+  void add_circle(geometry::Vec2 center, double radius_m, std::string_view fill,
+                  std::string_view stroke = "none", double opacity = 1.0);
+
+  void add_line(geometry::Vec2 a, geometry::Vec2 b, std::string_view stroke,
+                double width_m = 1.0, bool dashed = false);
+
+  void add_polyline(const std::vector<geometry::Vec2>& points, std::string_view stroke,
+                    double width_m = 1.0);
+
+  void add_polygon(const geometry::ConvexPolygon& poly, std::string_view fill,
+                   std::string_view stroke, double opacity = 0.25);
+
+  void add_text(geometry::Vec2 pos, std::string_view text, double size_m = 8.0,
+                std::string_view fill = "#333");
+
+  /// Renders the complete SVG document.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders and writes to a file. Returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  [[nodiscard]] geometry::Vec2 to_px(geometry::Vec2 p) const noexcept;
+  [[nodiscard]] double scale() const noexcept;
+
+  geometry::Rect bounds_;
+  double pixel_width_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace sensrep::trace

@@ -1,0 +1,53 @@
+#include "wsn/deployment.hpp"
+
+namespace sensrep::wsn {
+
+using geometry::Rect;
+using geometry::Vec2;
+
+std::vector<Vec2> uniform_deployment(sim::Rng& rng, const Rect& area, std::size_t count,
+                                     double min_separation) {
+  std::vector<Vec2> points;
+  points.reserve(count);
+  const double sep2 = min_separation * min_separation;
+  constexpr int kMaxTries = 64;
+  for (std::size_t i = 0; i < count; ++i) {
+    Vec2 p;
+    for (int attempt = 0; attempt < kMaxTries; ++attempt) {
+      p = {rng.uniform(area.min.x, area.max.x), rng.uniform(area.min.y, area.max.y)};
+      if (sep2 <= 0.0) break;
+      bool ok = true;
+      for (const Vec2 q : points) {
+        if (geometry::distance2(p, q) < sep2) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) break;
+    }
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<Vec2> grid_deployment(sim::Rng& rng, const Rect& area, std::size_t rows,
+                                  std::size_t cols, double jitter) {
+  std::vector<Vec2> points;
+  points.reserve(rows * cols);
+  const double dx = area.width() / static_cast<double>(cols);
+  const double dy = area.height() / static_cast<double>(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      Vec2 p{area.min.x + (static_cast<double>(c) + 0.5) * dx,
+             area.min.y + (static_cast<double>(r) + 0.5) * dy};
+      if (jitter > 0.0) {
+        p.x += rng.uniform(-jitter, jitter);
+        p.y += rng.uniform(-jitter, jitter);
+      }
+      points.push_back(area.clamp(p));
+    }
+  }
+  return points;
+}
+
+}  // namespace sensrep::wsn

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "geometry/vec2.hpp"
+#include "sim/rng.hpp"
+
+namespace sensrep::wsn {
+
+/// Sensor/robot placement generators (paper §2(a): random uniform).
+///
+/// `min_separation` rejects draws closer than the given distance to any
+/// already-placed point (a light hard-core process; 0 disables). Rejection is
+/// bounded; if the constraint cannot be met the point is placed anyway so the
+/// requested count is always honored.
+[[nodiscard]] std::vector<geometry::Vec2> uniform_deployment(sim::Rng& rng,
+                                                             const geometry::Rect& area,
+                                                             std::size_t count,
+                                                             double min_separation = 0.0);
+
+/// Regular grid deployment with optional uniform jitter (useful in tests and
+/// the coverage example; not used by the paper's experiments).
+[[nodiscard]] std::vector<geometry::Vec2> grid_deployment(sim::Rng& rng,
+                                                          const geometry::Rect& area,
+                                                          std::size_t rows, std::size_t cols,
+                                                          double jitter = 0.0);
+
+}  // namespace sensrep::wsn

@@ -1,0 +1,45 @@
+#include "wsn/failure_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sensrep::wsn {
+
+std::string_view to_string(LifetimeDistribution d) noexcept {
+  switch (d) {
+    case LifetimeDistribution::kExponential: return "exponential";
+    case LifetimeDistribution::kWeibull: return "weibull";
+    case LifetimeDistribution::kBatteryLinear: return "battery";
+  }
+  return "?";
+}
+
+void LifetimeModel::validate() const {
+  if (mean <= 0.0) throw std::invalid_argument("LifetimeModel: mean must be positive");
+  if (distribution == LifetimeDistribution::kWeibull && weibull_shape <= 0.0) {
+    throw std::invalid_argument("LifetimeModel: weibull_shape must be positive");
+  }
+  if (distribution == LifetimeDistribution::kBatteryLinear &&
+      (battery_jitter < 0.0 || battery_jitter >= 1.0)) {
+    throw std::invalid_argument("LifetimeModel: battery_jitter must be in [0, 1)");
+  }
+}
+
+double LifetimeModel::draw(sim::Rng& rng) const {
+  switch (distribution) {
+    case LifetimeDistribution::kExponential:
+      return rng.exponential(mean);
+    case LifetimeDistribution::kWeibull: {
+      // Scale lambda chosen so E[X] = lambda * Gamma(1 + 1/k) == mean.
+      const double k = weibull_shape;
+      const double lambda = mean / std::tgamma(1.0 + 1.0 / k);
+      const double u = rng.uniform01();
+      return lambda * std::pow(-std::log(1.0 - u), 1.0 / k);
+    }
+    case LifetimeDistribution::kBatteryLinear:
+      return mean * rng.uniform(1.0 - battery_jitter, 1.0 + battery_jitter);
+  }
+  return mean;
+}
+
+}  // namespace sensrep::wsn

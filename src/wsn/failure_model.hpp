@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string_view>
+
+#include "sim/rng.hpp"
+
+namespace sensrep::wsn {
+
+/// Sensor-unit lifetime distributions.
+///
+/// The paper assumes Exp(T) lifetimes (§2a) — memoryless, so failures arrive
+/// as a steady Poisson stream. Real hardware often wears out (Weibull with
+/// shape > 1: hazard grows with age, failures of same-age units cluster) or
+/// depletes a battery near-deterministically (tight lifetime spread, which
+/// synchronizes failures of a same-batch deployment). The E8 ablation bench
+/// shows how burstiness stresses the repair pipeline.
+enum class LifetimeDistribution {
+  kExponential,   // paper's model: memoryless, mean T
+  kWeibull,       // shape k: >1 wear-out (bursty), <1 infant mortality
+  kBatteryLinear, // mean * Uniform(1-jitter, 1+jitter): near-deterministic
+};
+
+[[nodiscard]] std::string_view to_string(LifetimeDistribution d) noexcept;
+
+/// Parameterized lifetime model; draws are calibrated so that every
+/// distribution has expectation `mean` (making ablations failure-count
+/// comparable).
+struct LifetimeModel {
+  LifetimeDistribution distribution = LifetimeDistribution::kExponential;
+  double mean = 16000.0;        // E[lifetime], seconds (paper §4.1)
+  double weibull_shape = 3.0;   // only for kWeibull
+  double battery_jitter = 0.1;  // only for kBatteryLinear; fraction of mean
+
+  /// Draws one lifetime. Requires mean > 0 (and shape > 0 for Weibull,
+  /// 0 <= jitter < 1 for battery).
+  [[nodiscard]] double draw(sim::Rng& rng) const;
+
+  /// Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+};
+
+}  // namespace sensrep::wsn

@@ -1,0 +1,267 @@
+#include "wsn/sensor_field.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "geometry/spatial_hash.hpp"
+#include "trace/log.hpp"
+
+namespace sensrep::wsn {
+
+using geometry::Vec2;
+using net::kBroadcastId;
+using net::NodeId;
+using net::Packet;
+using net::PacketType;
+
+SensorField::SensorField(sim::Simulator& simulator, net::Medium& medium,
+                         SensorPolicy& policy, metrics::FailureLog& log,
+                         const FieldConfig& config, sim::Rng rng)
+    : sim_(&simulator),
+      medium_(&medium),
+      policy_(&policy),
+      log_(&log),
+      config_(config),
+      rng_(rng) {
+  if (config.beacon_period <= 0.0) {
+    throw std::invalid_argument("SensorField: beacon_period must be positive");
+  }
+  if (config.stale_beacon_count < 1) {
+    throw std::invalid_argument("SensorField: stale_beacon_count must be >= 1");
+  }
+}
+
+SensorField::~SensorField() = default;
+
+void SensorField::deploy(const std::vector<Vec2>& positions) {
+  if (!slots_.empty()) throw std::logic_error("SensorField::deploy: already deployed");
+  slots_.reserve(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    slots_.push_back(std::make_unique<SensorNode>(id, positions[i], *this));
+    SensorNode* n = slots_.back().get();
+    medium_->attach(id, positions[i], config_.sensor_tx_range,
+                    [n](const Packet& pkt, NodeId from) { n->on_packet(pkt, from); });
+  }
+  open_failure_.assign(slots_.size(), std::nullopt);
+
+  // Static sensor-sensor adjacency: sensors never move and replacements land
+  // on the same coordinates, so this graph is computed once.
+  geometry::SpatialHash index(config_.sensor_tx_range);
+  for (const auto& s : slots_) index.upsert(s->id(), s->position());
+  adjacency_.resize(slots_.size());
+  for (const auto& s : slots_) {
+    auto& adj = adjacency_[s->id()];
+    for (const NodeId m : index.query_ball(s->position(), config_.sensor_tx_range)) {
+      if (m == s->id()) continue;
+      adj.push_back({m, slots_[m]->position()});
+    }
+  }
+}
+
+void SensorField::initialize() {
+  // Step 1 (paper §3.1 init): every sensor broadcasts its location once.
+  // The broadcasts are accounted; their observable effect — each sensor's
+  // neighbor table holding its one-hop neighbors — is applied directly.
+  medium_->account(metrics::MessageCategory::kInitialization,
+                   static_cast<std::uint64_t>(slots_.size()));
+  for (const auto& s : slots_) {
+    for (const auto& e : adjacency_[s->id()]) {
+      s->table().upsert(e.id, e.pos);
+      // Honest-beacon mode: the init broadcast is what primes heard_.
+      if (config_.materialize_beacons) s->heard_[e.id] = sim_->now();
+    }
+  }
+  // Step 2: guardian selection + confirmation (real counted unicasts).
+  for (const auto& s : slots_) s->choose_guardian();
+}
+
+void SensorField::start() {
+  for (const auto& s : slots_) {
+    activate_clocks(*s);
+  }
+}
+
+void SensorField::activate_clocks(SensorNode& n) {
+  // Beacon phase is drawn per activation so replacement units do not stay
+  // synchronized with their predecessors.
+  const double phase = rng_.uniform(0.0, config_.beacon_period);
+  SensorNode* node_ptr = &n;
+  n.tick_timer_ = sim_->in(phase, [this, node_ptr] {
+    node_ptr->tick();
+    node_ptr->tick_timer_ =
+        sim_->every(config_.beacon_period, [node_ptr] { node_ptr->tick(); });
+  });
+  schedule_lifetime(n);
+}
+
+void SensorField::schedule_lifetime(SensorNode& n) {
+  if (!config_.spontaneous_failures) return;
+  const double lifetime = config_.lifetime.draw(rng_);
+  const NodeId id = n.id();
+  const std::uint32_t inc = n.incarnation();
+  sim_->in(lifetime, [this, id, inc] {
+    SensorNode& node_ref = node(id);
+    if (node_ref.alive() && node_ref.incarnation() == inc) fail_slot(id);
+  });
+}
+
+SensorNode& SensorField::node(NodeId id) {
+  if (!is_sensor(id)) throw std::out_of_range("SensorField::node: not a sensor id");
+  return *slots_[id];
+}
+
+const SensorNode& SensorField::node(NodeId id) const {
+  if (!is_sensor(id)) throw std::out_of_range("SensorField::node: not a sensor id");
+  return *slots_[id];
+}
+
+const std::vector<routing::NeighborEntry>& SensorField::static_neighbors(NodeId id) const {
+  return adjacency_.at(id);
+}
+
+sim::SimTime SensorField::last_beacon(NodeId id) const {
+  if (!is_sensor(id)) return sim::kNever;
+  return slots_[id]->last_beacon();
+}
+
+void SensorField::fail_slot(NodeId slot) {
+  SensorNode& n = node(slot);
+  if (!n.alive()) return;
+  const sim::SimTime now = sim_->now();
+  n.fail();
+  medium_->set_alive(slot, false);
+  open_failure_[slot] = log_->open(slot, now);
+  if (hooks_.on_failure) hooks_.on_failure(slot, now);
+  if (event_log_) {
+    event_log_->record({now, trace::EventKind::kFailure, slot, std::nullopt,
+                        n.position(), std::nullopt});
+  }
+
+  // Neighbor-table staleness: every neighbor stops considering this node a
+  // forwarding candidate exactly one staleness window after its last beacon
+  // (equivalent to per-beacon refresh; DESIGN.md substitution 3). In honest-
+  // beacon mode each node evicts locally from its own heard_ timestamps.
+  if (config_.materialize_beacons) return;
+  const std::uint32_t inc = n.incarnation();
+  sim_->in(staleness_window() + 1e-6, [this, slot, inc] {
+    SensorNode& dead = node(slot);
+    if (dead.alive() && dead.incarnation() != inc) return;  // already replaced
+    for (const auto& e : adjacency_[slot]) {
+      node(e.id).remove_neighbor(slot);
+    }
+  });
+}
+
+void SensorField::replace_slot(NodeId slot, NodeId robot) {
+  SensorNode& n = node(slot);
+  if (n.alive()) {
+    trace::Logger::global().logf(trace::Level::kWarn, sim_->now(), "wsn",
+                                 "replace_slot(%u): slot already alive", slot);
+    return;
+  }
+  const sim::SimTime now = sim_->now();
+  n.revive();
+  medium_->set_alive(slot, true);
+
+  // The new unit announces itself so neighbors restore their table entries
+  // (paper §4.2(a)); a real counted broadcast.
+  Packet announce;
+  announce.type = PacketType::kReplacementAnnounce;
+  announce.src = slot;
+  announce.dst = kBroadcastId;
+  announce.payload = net::ReplacementAnnouncePayload{n.position(), slot};
+  medium_->broadcast(slot, announce);
+
+  if (open_failure_[slot]) {
+    auto& rec = log_->at(*open_failure_[slot]);
+    rec.repaired_at = now;
+    rec.robot_id = robot;
+    open_failure_[slot].reset();
+  }
+  if (hooks_.on_replacement) hooks_.on_replacement(slot, now);
+  if (event_log_) {
+    event_log_->record({now, trace::EventKind::kReplacement, slot, robot, n.position(),
+                        std::nullopt});
+  }
+
+  // Within one beacon period the new unit has heard all alive neighbors and
+  // can pick a guardian (paper §4.2: "the neighbors send beacons containing
+  // their own locations").
+  const std::uint32_t inc = n.incarnation();
+  sim_->in(config_.beacon_period, [this, slot, inc] {
+    SensorNode& fresh = node(slot);
+    if (!fresh.alive() || fresh.incarnation() != inc) return;
+    fresh.rebuild_neighbor_table();
+    policy_->on_sensor_reset(fresh);
+    fresh.choose_guardian();
+  });
+
+  activate_clocks(n);
+}
+
+std::optional<metrics::FailureLog::FailureId> SensorField::open_failure(NodeId slot) const {
+  if (!is_sensor(slot)) return std::nullopt;
+  return open_failure_[slot];
+}
+
+void SensorField::record_detection(NodeId slot) {
+  const auto fid = open_failure(slot);
+  if (!fid) return;
+  auto& rec = log_->at(*fid);
+  if (!rec.detected()) {
+    rec.detected_at = sim_->now();
+    if (event_log_) {
+      event_log_->record({sim_->now(), trace::EventKind::kDetection, slot, std::nullopt,
+                          node(slot).position(), rec.detected_at - rec.failed_at});
+    }
+  }
+}
+
+void SensorField::note_unreported(NodeId slot) {
+  ++unreported_;
+  trace::Logger::global().logf(trace::Level::kInfo, sim_->now(), "wsn",
+                               "failure of %u detected but no manager known", slot);
+}
+
+std::size_t SensorField::alive_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : slots_) n += s->alive() ? 1 : 0;
+  return n;
+}
+
+std::uint64_t SensorField::router_drops() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : slots_) n += s->router_->drops();
+  return n;
+}
+
+std::size_t SensorField::unguarded_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : slots_) {
+    if (s->alive() && s->guardian() == net::kNoNode) ++n;
+  }
+  return n;
+}
+
+double SensorField::coverage_fraction(const geometry::Rect& area, double sensing_radius,
+                                      std::size_t grid_side) const {
+  assert(grid_side > 0);
+  geometry::SpatialHash alive(sensing_radius);
+  for (const auto& s : slots_) {
+    if (s->alive()) alive.upsert(s->id(), s->position());
+  }
+  std::size_t covered = 0;
+  const double dx = area.width() / static_cast<double>(grid_side);
+  const double dy = area.height() / static_cast<double>(grid_side);
+  for (std::size_t gy = 0; gy < grid_side; ++gy) {
+    for (std::size_t gx = 0; gx < grid_side; ++gx) {
+      const Vec2 p{area.min.x + (static_cast<double>(gx) + 0.5) * dx,
+                   area.min.y + (static_cast<double>(gy) + 0.5) * dy};
+      if (!alive.query_ball(p, sensing_radius).empty()) ++covered;
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(grid_side * grid_side);
+}
+
+}  // namespace sensrep::wsn

@@ -1,0 +1,344 @@
+#include "wsn/sensor_node.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "trace/log.hpp"
+#include "wsn/sensor_field.hpp"
+
+namespace sensrep::wsn {
+
+using geometry::Vec2;
+using net::kBroadcastId;
+using net::kNoNode;
+using net::NodeId;
+using net::Packet;
+using net::PacketType;
+
+SensorNode::SensorNode(NodeId id, Vec2 pos, SensorField& field)
+    : id_(id), pos_(pos), field_(&field) {
+  routing::GeoRouter::Callbacks cb;
+  cb.deliver = [this](const Packet& pkt) {
+    if (pkt.type == PacketType::kReportAck) {
+      on_report_ack(std::get<net::ReportAckPayload>(pkt.payload).failed_node);
+      return;
+    }
+    // Other geo-routed packets terminate at managers/robots; a sensor as
+    // final destination indicates a misrouted packet. Log, don't crash.
+    trace::Logger::global().logf(trace::Level::kDebug, field_->simulator().now(), "wsn",
+                                 "sensor %u received stray %s", id_,
+                                 std::string(net::to_string(pkt.type)).c_str());
+  };
+  cb.drop = [this](const Packet& pkt, routing::DropReason reason) {
+    trace::Logger::global().logf(trace::Level::kDebug, field_->simulator().now(), "wsn",
+                                 "sensor %u dropped %s: %s", id_,
+                                 std::string(net::to_string(pkt.type)).c_str(),
+                                 std::string(to_string(reason)).c_str());
+  };
+  router_ = std::make_unique<routing::GeoRouter>(
+      id_, field.medium(), table_, [this] { return pos_; }, std::move(cb));
+}
+
+void SensorNode::add_guardee(NodeId id) {
+  if (std::find(guardees_.begin(), guardees_.end(), id) == guardees_.end()) {
+    guardees_.push_back(id);
+  }
+}
+
+void SensorNode::remove_guardee(NodeId id) {
+  guardees_.erase(std::remove(guardees_.begin(), guardees_.end(), id), guardees_.end());
+}
+
+bool SensorNode::learn_robot(NodeId robot, Vec2 loc, std::uint32_t seq) {
+  auto it = known_robots_.find(robot);
+  const bool fresh = it == known_robots_.end() || seq > it->second.seq;
+  if (fresh) {
+    known_robots_[robot] = RobotKnowledge{loc, seq};
+    // Keep the routing table's robot entry in sync: the robot is a usable
+    // next hop only while inside this sensor's own transmission range.
+    if (geometry::distance(pos_, loc) <= field_->config().sensor_tx_range) {
+      table_.upsert(robot, loc);
+    } else {
+      table_.remove(robot);
+    }
+  }
+  return fresh;
+}
+
+const RobotKnowledge* SensorNode::find_robot(NodeId robot) const {
+  auto it = known_robots_.find(robot);
+  return it == known_robots_.end() ? nullptr : &it->second;
+}
+
+std::optional<NodeId> SensorNode::closest_known_robot() const {
+  std::optional<NodeId> best;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (const auto& [robot, knowledge] : known_robots_) {
+    const double d2 = geometry::distance2(pos_, knowledge.location);
+    if (d2 < best_d2 || (d2 == best_d2 && best && robot < *best)) {
+      best_d2 = d2;
+      best = robot;
+    }
+  }
+  return best;
+}
+
+bool SensorNode::already_relayed(NodeId robot, std::uint32_t seq) const {
+  auto it = relayed_seq_.find(robot);
+  return it != relayed_seq_.end() && it->second >= seq;
+}
+
+void SensorNode::mark_relayed(NodeId robot, std::uint32_t seq) {
+  auto& slot = relayed_seq_[robot];
+  slot = std::max(slot, seq);
+}
+
+void SensorNode::relay(const Packet& pkt) { field_->medium().broadcast(id_, pkt); }
+
+void SensorNode::fail() {
+  if (!alive_) return;
+  alive_ = false;
+  if (tick_timer_.valid()) {
+    field_->simulator().cancel(tick_timer_);
+    tick_timer_ = {};
+  }
+  // The dead unit's protocol state dies with it; the slot id survives.
+  guardian_ = kNoNode;
+  guardees_.clear();
+  myrobot_ = kNoNode;
+  known_robots_.clear();
+  relayed_seq_.clear();
+  watch_reported_.clear();
+  heard_.clear();
+  for (auto& [failed, pending] : pending_reports_) {
+    field_->simulator().cancel(pending.retry_timer);
+  }
+  pending_reports_.clear();
+  table_.clear();
+}
+
+void SensorNode::revive() {
+  alive_ = true;
+  ++incarnation_;
+  last_beacon_ = field_->simulator().now();  // powers on beaconing immediately
+}
+
+bool SensorNode::neighbor_is_stale(NodeId id) const {
+  sim::SimTime last;
+  if (field_->config().materialize_beacons) {
+    // Honest mode: judged from the beacons this node actually received.
+    const auto it = heard_.find(id);
+    last = it == heard_.end() ? -sim::kNever : it->second;
+  } else {
+    // Analytic mode (DESIGN.md substitution 3): a neighbor's own beacon
+    // timestamp is what a receiver in range would have heard.
+    last = field_->last_beacon(id);
+  }
+  return last + field_->staleness_window() < field_->simulator().now();
+}
+
+void SensorNode::choose_guardian() {
+  if (guardian_ != kNoNode || !alive_) return;
+  // Candidates: fresh sensor neighbors, nearest first (paper §3.1: "picks its
+  // nearest neighbor as its guardian"). Freshness is judged by the beacons
+  // this node has heard — a recently-dead neighbor can legitimately be
+  // picked and will be replaced at the next staleness check.
+  std::vector<routing::NeighborEntry> candidates;
+  for (const auto& e : table_.entries()) {
+    if (!field_->is_sensor(e.id)) continue;  // robots are not guardians
+    if (neighbor_is_stale(e.id)) continue;
+    candidates.push_back(e);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const routing::NeighborEntry& a, const routing::NeighborEntry& b) {
+              const double da = geometry::distance2(a.pos, pos_);
+              const double db = geometry::distance2(b.pos, pos_);
+              return da != db ? da < db : a.id < b.id;
+            });
+  for (const auto& cand : candidates) {
+    Packet confirm;
+    confirm.type = PacketType::kGuardianConfirm;
+    confirm.src = id_;
+    confirm.dst = cand.id;
+    confirm.dst_location = cand.pos;
+    confirm.payload = net::GuardianConfirmPayload{id_};
+    if (field_->medium().unicast(id_, cand.id, confirm)) {
+      guardian_ = cand.id;
+      return;
+    }
+    table_.remove(cand.id);  // link dead: neighbor is gone
+  }
+  // No viable guardian: stay unguarded; tick() retries every period.
+}
+
+void SensorNode::tick() {
+  if (!alive_) return;
+  if (field_->config().materialize_beacons) {
+    Packet beacon;
+    beacon.type = PacketType::kBeacon;
+    beacon.src = id_;
+    beacon.dst = kBroadcastId;
+    beacon.payload = net::BeaconPayload{pos_};
+    field_->medium().broadcast(id_, beacon);  // counted by the medium
+  } else {
+    field_->medium().account(metrics::MessageCategory::kBeacon);
+  }
+  last_beacon_ = field_->simulator().now();
+
+  // Honest mode: staleness also evicts silent neighbors from the routing
+  // table locally (analytic mode schedules this at the field level).
+  if (field_->config().materialize_beacons) {
+    std::vector<NodeId> stale;
+    for (const auto& e : table_.entries()) {
+      if (field_->is_sensor(e.id) && neighbor_is_stale(e.id)) stale.push_back(e.id);
+    }
+    for (const NodeId id : stale) table_.remove(id);
+  }
+
+  // Guardee side: has my guardian gone silent? Re-pick if so (paper §3.1).
+  if (guardian_ != kNoNode && neighbor_is_stale(guardian_)) {
+    table_.remove(guardian_);
+    guardian_ = kNoNode;
+  }
+  if (guardian_ == kNoNode) choose_guardian();
+
+  // Guardian side: declare failed any guardee silent for the window.
+  std::vector<NodeId> failed;
+  for (const NodeId e : guardees_) {
+    if (neighbor_is_stale(e)) failed.push_back(e);
+  }
+  for (const NodeId e : failed) {
+    remove_guardee(e);
+    report_guardee_failure(e);
+  }
+
+  // Neighborhood watch (extension; see FieldConfig::neighborhood_watch):
+  // report any silent static neighbor, once per silence episode. The
+  // guardee path above already reported its subset this tick; the
+  // watch_reported_ stamp below keeps this loop from repeating those.
+  if (field_->config().neighborhood_watch) {
+    for (const auto& e : field_->static_neighbors(id_)) {
+      if (!neighbor_is_stale(e.id)) continue;
+      const sim::SimTime silent_since = field_->last_beacon(e.id);
+      auto it = watch_reported_.find(e.id);
+      if (it != watch_reported_.end() && it->second == silent_since) continue;
+      watch_reported_[e.id] = silent_since;
+      // Avoid double-reporting a neighbor the guardee path just handled.
+      if (std::find(failed.begin(), failed.end(), e.id) != failed.end()) continue;
+      report_guardee_failure(e.id);
+    }
+  }
+}
+
+void SensorNode::report_guardee_failure(NodeId failed) {
+  field_->record_detection(failed);
+  const auto target = field_->policy().report_target(*this);
+  if (!target || target->manager == kNoNode) {
+    field_->note_unreported(failed);
+    return;
+  }
+  Packet pkt;
+  pkt.type = PacketType::kFailureReport;
+  pkt.dst = target->manager;
+  pkt.dst_location = target->location;
+  net::FailureReportPayload body;
+  body.failed_node = failed;
+  body.failed_location = field_->node(failed).position();
+  const auto fid = field_->open_failure(failed);
+  body.failure_id = fid ? *fid + 1 : 0;  // 0 = untagged
+  body.reporter_location = pos_;
+  pkt.payload = body;
+  router_->send(std::move(pkt));
+
+  if (field_->config().reliable_reports) arm_report_retry(failed);
+}
+
+void SensorNode::arm_report_retry(NodeId failed) {
+  auto& pending = pending_reports_[failed];
+  pending.retry_timer =
+      field_->simulator().in(field_->config().report_retry_timeout, [this, failed] {
+        auto it = pending_reports_.find(failed);
+        if (it == pending_reports_.end() || !alive_) return;
+        if (it->second.attempts > field_->config().report_retries) {
+          pending_reports_.erase(it);  // give up; tracked by delivery ratio
+          return;
+        }
+        const int attempts = it->second.attempts + 1;
+        pending_reports_.erase(it);
+        report_guardee_failure(failed);  // re-resolves the manager too
+        pending_reports_[failed].attempts = attempts;
+      });
+}
+
+void SensorNode::on_report_ack(NodeId failed) {
+  auto it = pending_reports_.find(failed);
+  if (it == pending_reports_.end()) return;
+  field_->simulator().cancel(it->second.retry_timer);
+  pending_reports_.erase(it);
+}
+
+void SensorNode::rebuild_neighbor_table() {
+  if (!alive_) return;
+  // Every alive static neighbor beacons within one period of our power-on;
+  // collecting those beacons yields exactly this table (substitution 3).
+  table_.clear();
+  for (const auto& e : field_->static_neighbors(id_)) {
+    if (field_->node(e.id).alive()) {
+      table_.upsert(e.id, e.pos);
+      // Honest mode: a full beacon period has elapsed, so every alive
+      // neighbor has been heard once by now.
+      if (field_->config().materialize_beacons) {
+        heard_[e.id] = field_->simulator().now();
+      }
+    }
+  }
+  // myrobot bootstrap: the new unit asks its nearest alive neighbor for the
+  // current manager state (one query + one response, counted).
+  auto nearest = table_.closest_to(pos_);
+  while (nearest && !field_->is_sensor(nearest->id)) {
+    table_.remove(nearest->id);  // cannot happen (table just rebuilt); guard
+    nearest = table_.closest_to(pos_);
+  }
+  if (nearest) {
+    field_->medium().account(metrics::MessageCategory::kReplacement, 2);
+    const SensorNode& mentor = field_->node(nearest->id);
+    known_robots_ = mentor.known_robots_;
+    myrobot_ = mentor.myrobot_;
+  }
+}
+
+void SensorNode::on_packet(const Packet& pkt, NodeId from) {
+  if (!alive_) return;
+  switch (pkt.type) {
+    case PacketType::kBeacon:
+      // Only materialize_beacons mode delivers these frames.
+      heard_[pkt.src] = field_->simulator().now();
+      table_.upsert(pkt.src, std::get<net::BeaconPayload>(pkt.payload).location);
+      break;
+    case PacketType::kLocationAnnounce:
+      table_.upsert(pkt.src, std::get<net::LocationAnnouncePayload>(pkt.payload).location);
+      break;
+    case PacketType::kReplacementAnnounce:
+      table_.upsert(pkt.src,
+                    std::get<net::ReplacementAnnouncePayload>(pkt.payload).location);
+      break;
+    case PacketType::kGuardianConfirm:
+      if (pkt.dst == id_) add_guardee(pkt.src);
+      break;
+    case PacketType::kLocationUpdate:
+      if (pkt.dst == kBroadcastId) {
+        field_->policy().on_location_update(*this, pkt, from);
+      } else {
+        router_->on_receive(pkt, from);
+      }
+      break;
+    case PacketType::kFailureReport:
+    case PacketType::kRepairRequest:
+    case PacketType::kData:
+    case PacketType::kReportAck:
+      router_->on_receive(pkt, from);
+      break;
+  }
+}
+
+}  // namespace sensrep::wsn

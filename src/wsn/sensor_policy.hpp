@@ -1,0 +1,49 @@
+#pragma once
+
+#include <optional>
+
+#include "geometry/vec2.hpp"
+#include "net/node_id.hpp"
+#include "net/packet.hpp"
+
+namespace sensrep::wsn {
+
+class SensorNode;
+
+/// Where a sensor currently believes its manager is.
+struct ReportTarget {
+  net::NodeId manager = net::kNoNode;
+  geometry::Vec2 location;
+};
+
+/// The algorithm-specific half of a sensor's behavior.
+///
+/// The three coordination algorithms differ, on the sensor side, in exactly
+/// two decisions (paper §3): *whom to report a failure to* and *what to do
+/// with a robot location-update broadcast* (adopt / relay / ignore). One
+/// shared policy object per simulation implements both; everything else about
+/// a sensor (beaconing, guardian-guardee detection, geo-forwarding) is
+/// algorithm-independent mechanism in SensorNode.
+class SensorPolicy {
+ public:
+  virtual ~SensorPolicy() = default;
+
+  /// Manager this sensor should report failures to right now, with its
+  /// believed location; nullopt if the sensor has no manager (init hole —
+  /// the report is then counted as undeliverable).
+  [[nodiscard]] virtual std::optional<ReportTarget> report_target(
+      const SensorNode& sensor) const = 0;
+
+  /// A kLocationUpdate broadcast reached this sensor; the policy updates the
+  /// sensor's robot knowledge / myrobot choice and decides whether to relay.
+  virtual void on_location_update(SensorNode& sensor, const net::Packet& pkt,
+                                  net::NodeId from) = 0;
+
+  /// A replacement unit has rebuilt its neighbor table (one beacon period
+  /// after powering on); algorithms restore any policy-level entries the
+  /// previous incarnation held (e.g. the centralized manager as a one-hop
+  /// neighbor).
+  virtual void on_sensor_reset(SensorNode& /*sensor*/) {}
+};
+
+}  // namespace sensrep::wsn

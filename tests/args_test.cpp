@@ -1,0 +1,79 @@
+// Tests for the CLI flag parser.
+
+#include <gtest/gtest.h>
+
+#include "tools/args.hpp"
+
+namespace sensrep::tools {
+namespace {
+
+Args make(std::initializer_list<const char*> argv_tail) {
+  static std::vector<std::string> storage;
+  storage.clear();
+  storage.emplace_back("prog");
+  for (const char* a : argv_tail) storage.emplace_back(a);
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return Args(static_cast<int>(ptrs.size()), ptrs.data());
+}
+
+TEST(ArgsTest, EqualsForm) {
+  auto args = make({"--robots=9", "--algorithm=dynamic"});
+  EXPECT_EQ(args.get_u64("robots", 0), 9u);
+  EXPECT_EQ(args.get_string("algorithm", ""), "dynamic");
+}
+
+TEST(ArgsTest, SpaceForm) {
+  auto args = make({"--robots", "16", "--duration", "32000"});
+  EXPECT_EQ(args.get_u64("robots", 0), 16u);
+  EXPECT_DOUBLE_EQ(args.get_double("duration", 0.0), 32000.0);
+}
+
+TEST(ArgsTest, BooleanFlags) {
+  auto args = make({"--quiet", "--queue-aware", "--robots=4"});
+  EXPECT_TRUE(args.has("quiet"));
+  EXPECT_TRUE(args.has("queue-aware"));
+  EXPECT_FALSE(args.has("verbose"));
+}
+
+TEST(ArgsTest, BooleanFollowedByFlagDoesNotSwallow) {
+  auto args = make({"--quiet", "--robots=4"});
+  EXPECT_TRUE(args.has("quiet"));
+  EXPECT_EQ(args.get_string("quiet", "x"), "");
+  EXPECT_EQ(args.get_u64("robots", 0), 4u);
+}
+
+TEST(ArgsTest, DefaultsWhenAbsent) {
+  auto args = make({});
+  EXPECT_EQ(args.get_u64("robots", 4), 4u);
+  EXPECT_DOUBLE_EQ(args.get_double("loss", 0.25), 0.25);
+  EXPECT_EQ(args.get_string("algorithm", "dynamic"), "dynamic");
+}
+
+TEST(ArgsTest, PositionalArguments) {
+  auto args = make({"first", "--robots=4", "second"});
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(ArgsTest, BadNumbersThrow) {
+  auto args = make({"--robots=many", "--loss=often"});
+  EXPECT_THROW((void)args.get_u64("robots", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("loss", 0.0), std::invalid_argument);
+}
+
+TEST(ArgsTest, RejectUnknownCatchesTypos) {
+  auto args = make({"--robbots=4"});
+  (void)args.get_u64("robots", 4);
+  EXPECT_THROW(args.reject_unknown(), std::invalid_argument);
+}
+
+TEST(ArgsTest, RejectUnknownPassesWhenAllDeclared) {
+  auto args = make({"--robots=4", "--quiet"});
+  (void)args.get_u64("robots", 0);
+  (void)args.has("quiet");
+  EXPECT_NO_THROW(args.reject_unknown());
+}
+
+}  // namespace
+}  // namespace sensrep::tools

@@ -1,0 +1,135 @@
+// Unit tests for the mobile-sensor relocation baseline (Wang et al. style):
+// direct vs cascading healing, redundancy exhaustion, workload aggregation.
+
+#include <gtest/gtest.h>
+
+#include "baseline/cascading_relocation.hpp"
+#include "sim/rng.hpp"
+#include "wsn/deployment.hpp"
+
+namespace sensrep::baseline {
+namespace {
+
+using geometry::Rect;
+using geometry::Vec2;
+
+CascadingRelocation::Config cfg() {
+  CascadingRelocation::Config c;
+  c.max_link = 63.0;
+  c.speed = 1.0;
+  return c;
+}
+
+TEST(CascadingTest, DirectHealMovesNearestRedundant) {
+  // Redundant at (0,0) and (300,0); hole at (10,0): the nearest must serve.
+  CascadingRelocation sim({{0, 0}, {300, 0}, {10, 0}}, cfg(), sim::Rng(1));
+  sim.set_redundant(0);
+  sim.set_redundant(1);
+  const auto plan = sim.heal_direct(2);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.total_distance, 10.0, 1e-9);
+  EXPECT_EQ(plan.moves, 1u);
+  EXPECT_NEAR(plan.makespan, 10.0, 1e-9);
+  EXPECT_EQ(sim.redundant_count(), 1u);  // the far spare remains
+}
+
+TEST(CascadingTest, InfeasibleWithoutRedundancy) {
+  CascadingRelocation sim({{0, 0}, {10, 0}}, cfg(), sim::Rng(1));
+  const auto plan = sim.heal_direct(0);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(CascadingTest, RedundantPoolDepletes) {
+  CascadingRelocation sim({{0, 0}, {10, 0}, {20, 0}, {30, 0}}, cfg(), sim::Rng(2));
+  sim.set_redundant(2);
+  sim.set_redundant(3);
+  EXPECT_EQ(sim.redundant_count(), 2u);
+  (void)sim.heal_direct(0);
+  EXPECT_EQ(sim.redundant_count(), 1u);
+  (void)sim.heal_direct(1);
+  EXPECT_EQ(sim.redundant_count(), 0u);
+  EXPECT_FALSE(sim.heal_direct(0).feasible);
+}
+
+TEST(CascadingTest, CascadeBoundsPerNodeMove) {
+  // Line of relays every 50 m from the redundant node at x=0 to the hole at
+  // x=400; max_link 63 forces a chain. Every leg must be <= ~one spacing.
+  std::vector<Vec2> pts;
+  for (int i = 0; i <= 8; ++i) pts.push_back({static_cast<double>(i) * 50.0, 0.0});
+  CascadingRelocation direct_sim(pts, cfg(), sim::Rng(3));
+  CascadingRelocation cascade_sim(pts, cfg(), sim::Rng(3));
+  direct_sim.set_redundant(0);   // only the far end holds a spare
+  cascade_sim.set_redundant(0);
+  const auto direct_plan = direct_sim.heal_direct(8);
+  const auto cascade_plan = cascade_sim.heal_cascading(8);
+  ASSERT_TRUE(direct_plan.feasible);
+  ASSERT_TRUE(cascade_plan.feasible);
+  EXPECT_NEAR(direct_plan.max_leg, 400.0, 1e-9);   // one node drives it all
+  EXPECT_NEAR(cascade_plan.max_leg, 50.0, 1e-9);   // each shifts one spacing
+  EXPECT_LT(cascade_plan.makespan, direct_plan.makespan);
+}
+
+TEST(CascadingTest, LongCascadeSplitsMoveAcrossChain) {
+  // Exactly one redundant node (x=0), 200 m from the hole (x=200), with
+  // relays every 50 m: the cascade shifts each relay one link down.
+  CascadingRelocation one({{0, 0}, {50, 0}, {100, 0}, {150, 0}, {200, 0}}, cfg(),
+                          sim::Rng(4));
+  one.set_redundant(0);
+  EXPECT_EQ(one.redundant_count(), 1u);
+  const auto plan = one.heal_cascading(4);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.moves, 4u);                       // r + three relays
+  EXPECT_NEAR(plan.max_leg, 50.0, 1e-9);           // nobody drives the whole way
+  EXPECT_NEAR(plan.total_distance, 200.0, 1e-9);   // work conserved (== direct here)
+  EXPECT_NEAR(plan.makespan, 50.0, 1e-9);          // parallel moves
+}
+
+TEST(CascadingTest, WorkloadAggregatesAndHealsRefills) {
+  sim::Rng rng(5);
+  const auto pts = wsn::uniform_deployment(rng, Rect::sized(400, 400), 220);
+  CascadingRelocation sim(pts, cfg(), sim::Rng(6));
+  sim.designate_redundant(20);
+  std::vector<std::size_t> workload;
+  for (std::size_t i = 0; i < 15; ++i) workload.push_back(i * 3);
+  const auto totals = sim.run_workload(workload, CascadingRelocation::Strategy::kCascading);
+  EXPECT_EQ(totals.holes, 15u);
+  EXPECT_EQ(totals.healed, 15u);
+  EXPECT_GT(totals.total_distance, 0.0);
+  EXPECT_GT(totals.avg_makespan, 0.0);
+  EXPECT_LE(totals.max_leg, 400.0 * std::numbers::sqrt2);
+}
+
+TEST(CascadingTest, DirectAndCascadingComparableTotals) {
+  sim::Rng rng(7);
+  const auto pts = wsn::uniform_deployment(rng, Rect::sized(400, 400), 220);
+  std::vector<std::size_t> workload;
+  for (std::size_t i = 0; i < 20; ++i) workload.push_back(i * 2 + 1);
+
+  CascadingRelocation direct_sim(pts, cfg(), sim::Rng(8));
+  direct_sim.designate_redundant(25);
+  CascadingRelocation cascade_sim(pts, cfg(), sim::Rng(8));
+  cascade_sim.designate_redundant(25);
+
+  const auto d = direct_sim.run_workload(workload, CascadingRelocation::Strategy::kDirect);
+  const auto c =
+      cascade_sim.run_workload(workload, CascadingRelocation::Strategy::kCascading);
+  EXPECT_EQ(d.healed, c.healed);
+  // Cascading's virtue is peak per-node energy and response time, at a
+  // modest total-distance premium (chain detours).
+  EXPECT_LE(c.max_leg, d.max_leg + 1e-9);
+  EXPECT_LE(c.avg_makespan, d.avg_makespan + 1e-9);
+  EXPECT_GE(c.total_distance, d.total_distance * 0.9);
+}
+
+TEST(CascadingTest, RefailedSlotStrikesCurrentOccupant) {
+  CascadingRelocation sim({{0, 0}, {100, 0}, {200, 0}}, cfg(), sim::Rng(9));
+  sim.designate_redundant(3);
+  const auto first = sim.run_workload({0}, CascadingRelocation::Strategy::kDirect);
+  EXPECT_EQ(first.healed, 1u);
+  // Slot 0's original unit is gone; failing "0" again must hit the refill.
+  const auto second = sim.run_workload({0}, CascadingRelocation::Strategy::kDirect);
+  EXPECT_EQ(second.holes, 1u);
+}
+
+}  // namespace
+}  // namespace sensrep::baseline

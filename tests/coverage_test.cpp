@@ -1,0 +1,94 @@
+// Tests for the coverage analysis: covered/k-covered fractions and hole
+// detection on crafted layouts and random fields.
+
+#include <gtest/gtest.h>
+
+#include "geometry/coverage.hpp"
+#include "sim/rng.hpp"
+#include "wsn/deployment.hpp"
+
+namespace sensrep::geometry {
+namespace {
+
+TEST(CoverageTest, SingleCentralSensor) {
+  const Rect area = Rect::sized(100, 100);
+  const auto report = analyze_coverage({{50, 50}}, area, 30.0, 1, 100);
+  // Disc area pi*30^2 = 2827 over 10000: ~28%.
+  EXPECT_NEAR(report.covered_fraction, 0.2827, 0.01);
+  EXPECT_EQ(report.hole_count, 1u);  // one surrounding uncovered region
+  EXPECT_NEAR(report.total_hole_area, (1.0 - report.covered_fraction) * 10000.0, 1e-6);
+  EXPECT_NEAR(report.largest_hole_area, report.total_hole_area, 1e-6);
+}
+
+TEST(CoverageTest, EmptyFieldIsOneBigHole) {
+  const auto report = analyze_coverage({}, Rect::sized(50, 50), 10.0);
+  EXPECT_DOUBLE_EQ(report.covered_fraction, 0.0);
+  EXPECT_EQ(report.hole_count, 1u);
+  EXPECT_NEAR(report.largest_hole_area, 2500.0, 1e-6);
+}
+
+TEST(CoverageTest, DenseGridIsFullyCovered) {
+  sim::Rng rng(1);
+  const Rect area = Rect::sized(100, 100);
+  const auto sensors = wsn::grid_deployment(rng, area, 10, 10, 0.0);
+  const auto report = analyze_coverage(sensors, area, 12.0, 1, 100);
+  EXPECT_DOUBLE_EQ(report.covered_fraction, 1.0);
+  EXPECT_EQ(report.hole_count, 0u);
+  EXPECT_DOUBLE_EQ(report.largest_hole_area, 0.0);
+}
+
+TEST(CoverageTest, KCoverageIsMonotone) {
+  sim::Rng rng(2);
+  const Rect area = Rect::sized(200, 200);
+  const auto sensors = wsn::uniform_deployment(rng, area, 100);
+  const auto k1 = analyze_coverage(sensors, area, 40.0, 1);
+  const auto k2 = analyze_coverage(sensors, area, 40.0, 2);
+  const auto k4 = analyze_coverage(sensors, area, 40.0, 4);
+  EXPECT_DOUBLE_EQ(k1.covered_fraction, k2.covered_fraction);  // k-independent
+  EXPECT_GE(k1.k_covered_fraction, k2.k_covered_fraction - 1e-12);
+  EXPECT_GE(k2.k_covered_fraction, k4.k_covered_fraction);
+  EXPECT_LE(k2.k_covered_fraction, k2.covered_fraction);
+}
+
+TEST(CoverageTest, TwoSeparateHolesAreCounted) {
+  // Sensors tile the field except two opposite corners.
+  std::vector<Vec2> sensors;
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      const bool corner_a = x < 2 && y < 2;
+      const bool corner_b = x >= 8 && y >= 8;
+      if (corner_a || corner_b) continue;
+      sensors.push_back({x * 10.0 + 5.0, y * 10.0 + 5.0});
+    }
+  }
+  const auto report =
+      analyze_coverage(sensors, Rect::sized(100, 100), 8.0, 1, 100);
+  EXPECT_GE(report.hole_count, 2u);
+  EXPECT_GT(report.largest_hole_area, 100.0);
+  EXPECT_LT(report.covered_fraction, 1.0);
+}
+
+TEST(CoverageTest, HoleGrowsWhenSensorsDie) {
+  sim::Rng rng(3);
+  const Rect area = Rect::sized(200, 200);
+  auto sensors = wsn::uniform_deployment(rng, area, 120);
+  const auto before = analyze_coverage(sensors, area, 30.0);
+  // Kill everything in the lower-left quadrant.
+  std::erase_if(sensors, [](Vec2 p) { return p.x < 100.0 && p.y < 100.0; });
+  const auto after = analyze_coverage(sensors, area, 30.0);
+  EXPECT_LT(after.covered_fraction, before.covered_fraction);
+  EXPECT_GT(after.largest_hole_area, before.largest_hole_area);
+  EXPECT_GT(after.largest_hole_area, 2000.0);  // a quadrant-scale hole
+}
+
+TEST(CoverageTest, RejectsBadParameters) {
+  EXPECT_THROW((void)analyze_coverage({}, Rect::sized(10, 10), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)analyze_coverage({}, Rect::sized(10, 10), 5.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)analyze_coverage({}, Rect::sized(10, 10), 5.0, 1, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sensrep::geometry

@@ -1,0 +1,98 @@
+// Tests for the data-collection workload: report generation and delivery,
+// yield accounting under failures and repairs, sink re-announcement for
+// replaced units, and the windowed yield timeline.
+
+#include <gtest/gtest.h>
+
+#include "core/data_collection.hpp"
+
+namespace sensrep::core {
+namespace {
+
+SimulationConfig base_config(std::uint64_t seed = 9) {
+  SimulationConfig cfg;
+  cfg.algorithm = Algorithm::kDynamicDistributed;
+  cfg.robots = 4;
+  cfg.seed = seed;
+  cfg.sim_duration = 4000.0;
+  cfg.field.spontaneous_failures = false;
+  return cfg;
+}
+
+TEST(DataCollectionTest, HealthyFieldDeliversEverything) {
+  Simulation s(base_config());
+  DataCollection data(s, {});
+  s.run_until(1200.0);
+  // 200 sensors x ~20 periods of 60 s.
+  EXPECT_GT(data.generated(), 3500u);
+  EXPECT_GE(data.yield(), 0.99);
+}
+
+TEST(DataCollectionTest, DeadSensorsLoseExactlyTheirSamples) {
+  auto cfg = base_config();
+  Simulation s(cfg);
+  DataCollection data(s, {});
+  s.run_until(1.0);
+  // Kill a tenth of the field and disable repairs by draining every robot's
+  // spares... simpler: kill and observe within the detection+drive window.
+  for (net::NodeId id = 0; id < 20; ++id) s.field().fail_slot(id);
+  s.run_until(301.0);  // 5 report periods; repairs start trickling in late
+  // Yield must sit near alive/total, not near 1.
+  EXPECT_LT(data.yield(), 0.96);
+  EXPECT_GT(data.yield(), 0.80);
+}
+
+TEST(DataCollectionTest, RepairsRestoreYield) {
+  auto cfg = base_config();
+  cfg.sim_duration = 6000.0;
+  Simulation s(cfg);
+  DataCollection data(s, {});
+  data.sample_yield_every(500.0);
+  s.run_until(1.0);
+  for (net::NodeId id = 40; id < 60; ++id) s.field().fail_slot(id);
+  s.run();
+  const auto& series = data.yield_timeline();
+  ASSERT_GE(series.size(), 10u);
+  // First window carries the outage; the last windows are healed.
+  EXPECT_LT(series.points().front().second, 0.97);
+  EXPECT_GE(series.points().back().second, 0.99);
+}
+
+TEST(DataCollectionTest, ReplacedSensorNearSinkRelearnsFinalHop) {
+  auto cfg = base_config();
+  Simulation s(cfg);
+  DataCollection data(s, {});
+  // Find the sensor closest to the sink (field center), kill + wait for the
+  // robot to replace it, then confirm data still flows at full yield.
+  const auto center = cfg.field_area().center();
+  net::NodeId closest = 0;
+  double best = 1e18;
+  for (net::NodeId id = 0; id < s.field().size(); ++id) {
+    const double d = geometry::distance(s.field().node(id).position(), center);
+    if (d < best) {
+      best = d;
+      closest = id;
+    }
+  }
+  s.run_until(1.0);
+  s.field().fail_slot(closest);
+  s.run_until(1500.0);
+  ASSERT_TRUE(s.field().node(closest).alive()) << "replacement did not happen";
+  const auto delivered_before = data.delivered();
+  s.run_until(2500.0);
+  // The sink announce period restored the final-hop entry: traffic flows.
+  EXPECT_GT(data.delivered(), delivered_before + 2000u);
+  EXPECT_GE(data.yield(), 0.95);
+}
+
+TEST(DataCollectionTest, DataTransmissionsAccountedSeparately) {
+  Simulation s(base_config());
+  DataCollection data(s, {});
+  s.run_until(500.0);
+  EXPECT_GT(s.counters().get(metrics::MessageCategory::kData), 1000u);
+  // Data traffic must not pollute the paper's Fig.-4 category.
+  EXPECT_EQ(s.counters().get(metrics::MessageCategory::kLocationUpdate), 0u);
+}
+
+}  // namespace
+}  // namespace sensrep::core

@@ -1,0 +1,96 @@
+// Tests for the unit-disk graph analysis: components, articulation points,
+// post-failure component sizes — on crafted topologies and random fields.
+
+#include <gtest/gtest.h>
+
+#include "geometry/graph_analysis.hpp"
+#include "geometry/rect.hpp"
+#include "sim/rng.hpp"
+#include "wsn/deployment.hpp"
+
+namespace sensrep::geometry {
+namespace {
+
+TEST(UnitDiskGraphTest, AdjacencyFromRadius) {
+  // Line 0-1-2 with spacing 10, radius 12: consecutive nodes connect only.
+  const UnitDiskGraph g({{0, 0}, {10, 0}, {20, 0}}, 12.0);
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.neighbors(1).size(), 2u);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(g.mean_degree(), 4.0 / 3.0);
+}
+
+TEST(UnitDiskGraphTest, ComponentsOfSplitField) {
+  const UnitDiskGraph g({{0, 0}, {10, 0}, {500, 0}, {510, 0}, {1000, 1000}}, 15.0);
+  const auto comps = g.connected_components();
+  EXPECT_EQ(comps.count, 3u);
+  EXPECT_EQ(comps.id[0], comps.id[1]);
+  EXPECT_EQ(comps.id[2], comps.id[3]);
+  EXPECT_NE(comps.id[0], comps.id[2]);
+  EXPECT_NE(comps.id[2], comps.id[4]);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(UnitDiskGraphTest, ChainInteriorIsArticulation) {
+  // 0-1-2-3-4 chain: nodes 1, 2, 3 are cut vertices.
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 5; ++i) pts.push_back({static_cast<double>(i) * 10.0, 0});
+  const UnitDiskGraph g(pts, 12.0);
+  EXPECT_EQ(g.articulation_points(), (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(UnitDiskGraphTest, CycleHasNoArticulation) {
+  // Square cycle with radius covering adjacent corners but not diagonals.
+  const UnitDiskGraph g({{0, 0}, {10, 0}, {10, 10}, {0, 10}}, 11.0);
+  EXPECT_TRUE(g.articulation_points().empty());
+}
+
+TEST(UnitDiskGraphTest, BowTieCenterIsArticulation) {
+  // Two triangles sharing only the center vertex 2.
+  const UnitDiskGraph g(
+      {{0, 0}, {0, 8}, {10, 4}, {20, 0}, {20, 8}}, 11.0);
+  const auto cuts = g.articulation_points();
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], 2u);
+  // Removing it strands one triangle: largest remaining component is 2.
+  EXPECT_EQ(g.largest_component_without(2), 2u);
+  // Removing a leaf-side vertex keeps the rest intact.
+  EXPECT_EQ(g.largest_component_without(0), 4u);
+}
+
+TEST(UnitDiskGraphTest, ArticulationRemovalMatchesComponentDefinition) {
+  // Property: for every vertex v of a connected random graph, v is an
+  // articulation point iff removing it splits the rest into >1 component
+  // (checked via largest_component_without).
+  sim::Rng rng(77);
+  const auto pts = wsn::uniform_deployment(rng, Rect::sized(200, 200), 60);
+  const UnitDiskGraph g(pts, 45.0);
+  if (!g.connected()) GTEST_SKIP() << "random field disconnected for this seed";
+  const auto cuts = g.articulation_points();
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    const bool is_cut =
+        std::find(cuts.begin(), cuts.end(), v) != cuts.end();
+    const bool splits = g.largest_component_without(v) < g.size() - 1;
+    EXPECT_EQ(is_cut, splits) << "vertex " << v;
+  }
+}
+
+TEST(UnitDiskGraphTest, PaperDensityIsRobustlyConnected) {
+  // The paper's density (50 sensors per 200x200 at 63 m range) yields a
+  // connected graph with few articulation points — the premise behind its
+  // 100% report delivery.
+  sim::Rng rng(5);
+  const auto pts = wsn::uniform_deployment(rng, Rect::sized(400, 400), 200);
+  const UnitDiskGraph g(pts, 63.0);
+  EXPECT_TRUE(g.connected());
+  EXPECT_GT(g.mean_degree(), 8.0);
+  EXPECT_LT(g.articulation_points().size(), g.size() / 20);
+}
+
+TEST(UnitDiskGraphTest, RejectsBadRadius) {
+  EXPECT_THROW(UnitDiskGraph({{0, 0}}, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sensrep::geometry

@@ -1,0 +1,148 @@
+// Tests for the localization substrate: Gauss-Newton multilateration on
+// crafted geometries, field-level anchor localization accuracy, and the
+// Rng::normal primitive it relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/localization.hpp"
+#include "geometry/rect.hpp"
+#include "sim/rng.hpp"
+#include "wsn/deployment.hpp"
+
+namespace sensrep::geometry {
+namespace {
+
+TEST(RngNormalTest, MomentsMatch) {
+  sim::Rng rng(1);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngNormalTest, ZeroStddevIsDeterministic) {
+  sim::Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.normal(7.0, 0.0), 7.0);
+}
+
+TEST(MultilaterateTest, ExactRangesRecoverThePoint) {
+  const Vec2 truth{30.0, 40.0};
+  std::vector<RangeMeasurement> ranges;
+  for (const Vec2 anchor : {Vec2{0, 0}, Vec2{100, 0}, Vec2{0, 100}}) {
+    ranges.push_back({anchor, distance(truth, anchor)});
+  }
+  const auto fix = multilaterate(ranges, {50, 50});
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_TRUE(almost_equal(*fix, truth, 1e-6));
+}
+
+TEST(MultilaterateTest, OverdeterminedNoisyFitStaysClose) {
+  sim::Rng rng(3);
+  const Vec2 truth{123.0, 77.0};
+  std::vector<RangeMeasurement> ranges;
+  for (int i = 0; i < 8; ++i) {
+    const Vec2 anchor{rng.uniform(0, 300), rng.uniform(0, 300)};
+    ranges.push_back({anchor, distance(truth, anchor) + rng.normal(0.0, 2.0)});
+  }
+  const auto fix = multilaterate(ranges, {150, 150});
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(distance(*fix, truth), 5.0);
+}
+
+TEST(MultilaterateTest, TooFewMeasurementsRejected) {
+  std::vector<RangeMeasurement> two{{{0, 0}, 10.0}, {{20, 0}, 10.0}};
+  EXPECT_FALSE(multilaterate(two, {10, 0}).has_value());
+}
+
+TEST(MultilaterateTest, CollinearAnchorsRejected) {
+  // Three anchors on a line cannot resolve the mirror ambiguity; the normal
+  // matrix is singular at the symmetric initial guess.
+  std::vector<RangeMeasurement> ranges{
+      {{0, 0}, 50.0}, {{100, 0}, 50.0}, {{200, 0}, 111.8}};
+  EXPECT_FALSE(multilaterate(ranges, {50, 0}).has_value());
+}
+
+TEST(LocalizeFieldTest, AnchorsKeepTruth) {
+  sim::Rng deploy_rng(5);
+  const auto truth =
+      wsn::uniform_deployment(deploy_rng, Rect::sized(400, 400), 200);
+  LocalizationConfig cfg;
+  sim::Rng rng(6);
+  const auto result = localize_field(truth, cfg, rng);
+  ASSERT_EQ(result.estimated.size(), truth.size());
+  std::size_t anchors = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (result.is_anchor[i]) {
+      ++anchors;
+      EXPECT_EQ(result.estimated[i], truth[i]);
+    }
+  }
+  EXPECT_EQ(anchors, 20u);  // 10% of 200
+}
+
+TEST(LocalizeFieldTest, ErrorScalesWithRangingNoise) {
+  sim::Rng deploy_rng(5);
+  const auto truth =
+      wsn::uniform_deployment(deploy_rng, Rect::sized(400, 400), 200);
+  const auto error_at = [&](double noise) {
+    LocalizationConfig cfg;
+    cfg.range_noise_stddev = noise;
+    sim::Rng rng(7);
+    return localize_field(truth, cfg, rng).mean_error;
+  };
+  const double quiet = error_at(0.5);
+  const double noisy = error_at(8.0);
+  EXPECT_LT(quiet, 2.0);
+  EXPECT_GT(noisy, quiet * 3.0);
+}
+
+TEST(LocalizeFieldTest, PerfectRangingIsNearExact) {
+  sim::Rng deploy_rng(8);
+  const auto truth =
+      wsn::uniform_deployment(deploy_rng, Rect::sized(300, 300), 120);
+  LocalizationConfig cfg;
+  cfg.range_noise_stddev = 0.0;
+  sim::Rng rng(9);
+  const auto result = localize_field(truth, cfg, rng);
+  EXPECT_LT(result.mean_error, 1e-3);
+}
+
+TEST(LocalizeFieldTest, ValidatesConfig) {
+  sim::Rng rng(1);
+  const std::vector<Vec2> pts{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  LocalizationConfig cfg;
+  cfg.anchor_fraction = 0.0;
+  EXPECT_THROW((void)localize_field(pts, cfg, rng), std::invalid_argument);
+  cfg = {};
+  cfg.min_anchors = 2;
+  EXPECT_THROW((void)localize_field(pts, cfg, rng), std::invalid_argument);
+}
+
+TEST(LocalizeFieldTest, SparseAnchorsFallBackToNearest) {
+  // All anchors far from some nodes (beyond max ranging distance): the
+  // DV-distance fallback must still produce finite estimates for everyone.
+  sim::Rng deploy_rng(11);
+  const auto truth =
+      wsn::uniform_deployment(deploy_rng, Rect::sized(1000, 1000), 150);
+  LocalizationConfig cfg;
+  cfg.anchor_fraction = 0.03;
+  cfg.max_ranging_distance = 80.0;
+  sim::Rng rng(12);
+  const auto result = localize_field(truth, cfg, rng);
+  for (const Vec2 p : result.estimated) {
+    EXPECT_TRUE(std::isfinite(p.x));
+    EXPECT_TRUE(std::isfinite(p.y));
+  }
+}
+
+}  // namespace
+}  // namespace sensrep::geometry

@@ -1,0 +1,417 @@
+// Unit tests for the wireless medium: attachment rules, asymmetric ranges,
+// broadcast/unicast delivery, liveness filtering, loss + ARQ, accounting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/counters.hpp"
+#include "net/medium.hpp"
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace sensrep::net {
+namespace {
+
+using geometry::Vec2;
+using metrics::MessageCategory;
+
+struct Rx {
+  std::vector<std::pair<Packet, NodeId>> got;
+  Medium::ReceiveFn fn() {
+    return [this](const Packet& p, NodeId from) { got.emplace_back(p, from); };
+  }
+};
+
+class MediumTest : public ::testing::Test {
+ protected:
+  MediumTest() : medium_(sim_, sim::Rng(1), RadioConfig{}, counters_, 50.0) {}
+
+  Packet beacon(NodeId src) {
+    Packet p;
+    p.type = PacketType::kBeacon;
+    p.src = src;
+    p.dst = kBroadcastId;
+    return p;
+  }
+
+  sim::Simulator sim_;
+  metrics::TransmissionCounters counters_;
+  Medium medium_;
+};
+
+TEST_F(MediumTest, AttachRejectsDuplicatesAndReservedIds) {
+  Rx rx;
+  medium_.attach(1, {0, 0}, 50.0, rx.fn());
+  EXPECT_THROW(medium_.attach(1, {0, 0}, 50.0, rx.fn()), std::invalid_argument);
+  EXPECT_THROW(medium_.attach(kNoNode, {0, 0}, 50.0, rx.fn()), std::invalid_argument);
+  EXPECT_THROW(medium_.attach(kBroadcastId, {0, 0}, 50.0, rx.fn()), std::invalid_argument);
+  EXPECT_THROW(medium_.attach(2, {0, 0}, 0.0, rx.fn()), std::invalid_argument);
+}
+
+TEST_F(MediumTest, BroadcastReachesOnlyNodesInSenderRange) {
+  Rx near, far;
+  medium_.attach(1, {0, 0}, 50.0, {});
+  medium_.attach(2, {30, 0}, 50.0, near.fn());
+  medium_.attach(3, {80, 0}, 50.0, far.fn());
+  medium_.broadcast(1, beacon(1));
+  sim_.run_all();
+  EXPECT_EQ(near.got.size(), 1u);
+  EXPECT_TRUE(far.got.empty());
+}
+
+TEST_F(MediumTest, AsymmetricRangesAreTransmitterBased) {
+  // Robot (range 250) and sensor (range 63) 100 m apart: the robot reaches
+  // the sensor, the sensor cannot reach the robot — exactly the paper's
+  // asymmetry behind Fig. 3's report-vs-request hop difference.
+  Rx robot_rx, sensor_rx;
+  medium_.attach(10, {0, 0}, 250.0, robot_rx.fn());
+  medium_.attach(20, {100, 0}, 63.0, sensor_rx.fn());
+  EXPECT_TRUE(medium_.in_range(10, 20));
+  EXPECT_FALSE(medium_.in_range(20, 10));
+
+  medium_.broadcast(10, beacon(10));
+  medium_.broadcast(20, beacon(20));
+  sim_.run_all();
+  EXPECT_EQ(sensor_rx.got.size(), 1u);
+  EXPECT_TRUE(robot_rx.got.empty());
+}
+
+TEST_F(MediumTest, DeadNodesNeitherReceiveNorAppearAsNeighbors) {
+  Rx rx;
+  medium_.attach(1, {0, 0}, 50.0, {});
+  medium_.attach(2, {10, 0}, 50.0, rx.fn());
+  medium_.set_alive(2, false);
+  medium_.broadcast(1, beacon(1));
+  sim_.run_all();
+  EXPECT_TRUE(rx.got.empty());
+  EXPECT_TRUE(medium_.neighbors_of(1).empty());
+  medium_.set_alive(2, true);
+  EXPECT_EQ(medium_.neighbors_of(1), (std::vector<NodeId>{2}));
+}
+
+TEST_F(MediumTest, NodeDyingInFlightMissesDelivery) {
+  Rx rx;
+  medium_.attach(1, {0, 0}, 50.0, {});
+  medium_.attach(2, {10, 0}, 50.0, rx.fn());
+  medium_.broadcast(1, beacon(1));
+  medium_.set_alive(2, false);  // dies before the frame lands
+  sim_.run_all();
+  EXPECT_TRUE(rx.got.empty());
+}
+
+TEST_F(MediumTest, UnicastDeliversOnlyToTarget) {
+  Rx target, bystander;
+  medium_.attach(1, {0, 0}, 50.0, {});
+  medium_.attach(2, {10, 0}, 50.0, target.fn());
+  medium_.attach(3, {10, 5}, 50.0, bystander.fn());
+  EXPECT_TRUE(medium_.unicast(1, 2, beacon(1)));
+  sim_.run_all();
+  EXPECT_EQ(target.got.size(), 1u);
+  EXPECT_TRUE(bystander.got.empty());
+}
+
+TEST_F(MediumTest, UnicastFailsOutOfRangeOrDead) {
+  Rx rx;
+  medium_.attach(1, {0, 0}, 50.0, {});
+  medium_.attach(2, {100, 0}, 50.0, rx.fn());
+  EXPECT_FALSE(medium_.unicast(1, 2, beacon(1)));  // out of range
+  medium_.attach(3, {10, 0}, 50.0, rx.fn());
+  medium_.set_alive(3, false);
+  EXPECT_FALSE(medium_.unicast(1, 3, beacon(1)));  // dead
+  sim_.run_all();
+  EXPECT_TRUE(rx.got.empty());
+}
+
+TEST_F(MediumTest, HopsIncrementOnDelivery) {
+  Rx rx;
+  medium_.attach(1, {0, 0}, 50.0, {});
+  medium_.attach(2, {10, 0}, 50.0, rx.fn());
+  Packet p = beacon(1);
+  p.hops = 3;
+  medium_.unicast(1, 2, p);
+  sim_.run_all();
+  ASSERT_EQ(rx.got.size(), 1u);
+  EXPECT_EQ(rx.got[0].first.hops, 4u);
+  EXPECT_EQ(rx.got[0].second, 1u);  // link-layer sender
+}
+
+TEST_F(MediumTest, TransmissionsCountedByCategory) {
+  medium_.attach(1, {0, 0}, 50.0, {});
+  medium_.attach(2, {10, 0}, 50.0, {});
+  medium_.broadcast(1, beacon(1));
+  Packet report = beacon(1);
+  report.type = PacketType::kFailureReport;
+  report.payload = FailureReportPayload{};
+  medium_.unicast(1, 2, report);
+  EXPECT_EQ(counters_.get(MessageCategory::kBeacon), 1u);
+  EXPECT_EQ(counters_.get(MessageCategory::kFailureReport), 1u);
+}
+
+TEST_F(MediumTest, CategoryOverrideRedirectsAccounting) {
+  medium_.attach(1, {0, 0}, 50.0, {});
+  Packet p = beacon(1);
+  p.type = PacketType::kLocationUpdate;
+  p.payload = LocationUpdatePayload{};
+  p.category_override = MessageCategory::kInitialization;
+  medium_.broadcast(1, p);
+  EXPECT_EQ(counters_.get(MessageCategory::kLocationUpdate), 0u);
+  EXPECT_EQ(counters_.get(MessageCategory::kInitialization), 1u);
+}
+
+TEST_F(MediumTest, DeliveryDelayIsPositiveAndBounded) {
+  Rx rx;
+  medium_.attach(1, {0, 0}, 50.0, {});
+  medium_.attach(2, {10, 0}, 50.0, rx.fn());
+  medium_.broadcast(1, beacon(1));
+  EXPECT_TRUE(rx.got.empty());  // nothing delivered synchronously
+  sim_.run_until(0.01);         // serialization + max 2 ms backoff
+  EXPECT_EQ(rx.got.size(), 1u);
+}
+
+TEST_F(MediumTest, NeighborsSortedById) {
+  medium_.attach(5, {0, 0}, 100.0, {});
+  medium_.attach(9, {10, 0}, 50.0, {});
+  medium_.attach(2, {20, 0}, 50.0, {});
+  medium_.attach(7, {30, 0}, 50.0, {});
+  EXPECT_EQ(medium_.neighbors_of(5), (std::vector<NodeId>{2, 7, 9}));
+}
+
+TEST_F(MediumTest, MovedNodeChangesNeighborhoods) {
+  medium_.attach(1, {0, 0}, 50.0, {});
+  medium_.attach(2, {200, 0}, 50.0, {});
+  EXPECT_TRUE(medium_.neighbors_of(1).empty());
+  medium_.set_position(2, {25, 0});
+  EXPECT_EQ(medium_.neighbors_of(1), (std::vector<NodeId>{2}));
+  EXPECT_EQ(medium_.position_of(2), (Vec2{25, 0}));
+}
+
+TEST_F(MediumTest, DetachRemovesCompletely) {
+  medium_.attach(1, {0, 0}, 50.0, {});
+  medium_.attach(2, {10, 0}, 50.0, {});
+  medium_.detach(2);
+  EXPECT_FALSE(medium_.attached(2));
+  EXPECT_TRUE(medium_.neighbors_of(1).empty());
+  EXPECT_THROW((void)medium_.position_of(2), std::out_of_range);
+}
+
+TEST_F(MediumTest, NodesNearQueriesArbitraryPositions) {
+  medium_.attach(1, {0, 0}, 50.0, {});
+  medium_.attach(2, {100, 0}, 50.0, {});
+  medium_.attach(3, {105, 0}, 50.0, {});
+  medium_.set_alive(3, false);
+  EXPECT_EQ(medium_.nodes_near({100, 0}, 10.0), (std::vector<NodeId>{2}));
+  EXPECT_EQ(medium_.nodes_near({50, 0}, 200.0), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(medium_.tx_range_of(1), 50.0);
+}
+
+TEST_F(MediumTest, AccountBooksWithoutDelivering) {
+  medium_.attach(1, {0, 0}, 50.0, {});
+  medium_.account(MessageCategory::kBeacon, 41);
+  EXPECT_EQ(counters_.get(MessageCategory::kBeacon), 41u);
+  EXPECT_EQ(medium_.deliveries(), 0u);
+}
+
+TEST_F(MediumTest, SerializationDelayGrowsWithPacketSize) {
+  // A data packet (80 B) serializes slower than a beacon (40 B) at 11 Mbps;
+  // with zero backoff the delivery times expose exactly that difference.
+  sim::Simulator sim;
+  metrics::TransmissionCounters counters;
+  RadioConfig cfg;
+  cfg.max_backoff_s = 0.0;
+  cfg.propagation_s = 0.0;
+  Medium medium(sim, sim::Rng(1), cfg, counters, 50.0);
+  medium.attach(1, {0, 0}, 50.0, {});
+  std::vector<double> arrival;
+  medium.attach(2, {10, 0}, 50.0,
+                [&](const Packet&, NodeId) { arrival.push_back(sim.now()); });
+  Packet small;
+  small.type = PacketType::kBeacon;
+  small.dst = 2;
+  Packet big;
+  big.type = PacketType::kData;
+  big.payload = DataPayload{};
+  big.dst = 2;
+  medium.unicast(1, 2, small);
+  sim.run_all();
+  medium.unicast(1, 2, big);
+  sim.run_all();
+  ASSERT_EQ(arrival.size(), 2u);
+  const double small_delay = arrival[0];
+  const double big_delay = arrival[1] - arrival[0];
+  EXPECT_NEAR(small_delay, static_cast<double>(small.size_bytes()) * 8.0 / 11e6, 1e-12);
+  EXPECT_NEAR(big_delay, static_cast<double>(big.size_bytes()) * 8.0 / 11e6, 1e-12);
+  EXPECT_GT(big_delay, small_delay);
+}
+
+// --- Loss model ---------------------------------------------------------------
+
+TEST(MediumLossTest, UnicastArqRetriesUntilSuccess) {
+  sim::Simulator sim;
+  metrics::TransmissionCounters counters;
+  RadioConfig cfg;
+  cfg.loss_probability = 0.5;
+  cfg.unicast_retries = 10;
+  Medium medium(sim, sim::Rng(3), cfg, counters, 50.0);
+  int delivered = 0;
+  medium.attach(1, {0, 0}, 50.0, {});
+  medium.attach(2, {10, 0}, 50.0, [&](const Packet&, NodeId) { ++delivered; });
+
+  int acked = 0;
+  const int kTries = 200;
+  Packet p;
+  p.type = PacketType::kBeacon;
+  p.dst = 2;
+  for (int i = 0; i < kTries; ++i) acked += medium.unicast(1, 2, p) ? 1 : 0;
+  sim.run_all();
+  // With 11 attempts at 50% loss, failure odds are ~0.05%: all should ack.
+  EXPECT_EQ(acked, kTries);
+  EXPECT_EQ(delivered, kTries);
+  // And retries must have cost extra transmissions (~2x on average).
+  EXPECT_GT(counters.get(MessageCategory::kBeacon), static_cast<std::uint64_t>(kTries) * 3 / 2);
+}
+
+TEST(MediumLossTest, BroadcastLosesSomeReceivers) {
+  sim::Simulator sim;
+  metrics::TransmissionCounters counters;
+  RadioConfig cfg;
+  cfg.loss_probability = 0.4;
+  Medium medium(sim, sim::Rng(9), cfg, counters, 50.0);
+  medium.attach(1, {0, 0}, 50.0, {});
+  int delivered = 0;
+  for (NodeId n = 2; n < 42; ++n) {
+    medium.attach(n, {10, static_cast<double>(n)}, 50.0,
+                  [&](const Packet&, NodeId) { ++delivered; });
+  }
+  Packet p;
+  p.type = PacketType::kBeacon;
+  p.dst = kBroadcastId;
+  for (int i = 0; i < 25; ++i) medium.broadcast(1, p);
+  sim.run_all();
+  const int expected = 25 * 40 * 6 / 10;  // 60% of 1000
+  EXPECT_NEAR(delivered, expected, 60);
+}
+
+// --- Collision model -------------------------------------------------------------
+
+TEST(MediumCollisionTest, OverlappingBroadcastsCorruptEachOther) {
+  sim::Simulator sim;
+  metrics::TransmissionCounters counters;
+  RadioConfig cfg;
+  cfg.model_collisions = true;
+  cfg.max_backoff_s = 0.0;  // no jitter: frames overlap deterministically
+  Medium medium(sim, sim::Rng(1), cfg, counters, 50.0);
+  int delivered = 0;
+  medium.attach(1, {0, 0}, 50.0, {});
+  medium.attach(2, {20, 0}, 50.0, {});
+  medium.attach(3, {10, 0}, 50.0, [&](const Packet&, NodeId) { ++delivered; });
+
+  Packet p;
+  p.type = PacketType::kBeacon;
+  p.dst = kBroadcastId;
+  medium.broadcast(1, p);  // same instant, zero backoff: guaranteed overlap
+  medium.broadcast(2, p);
+  sim.run_all();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(medium.collisions(), 2u);
+}
+
+TEST(MediumCollisionTest, SeparatedBroadcastsBothArrive) {
+  sim::Simulator sim;
+  metrics::TransmissionCounters counters;
+  RadioConfig cfg;
+  cfg.model_collisions = true;
+  cfg.max_backoff_s = 0.0;
+  Medium medium(sim, sim::Rng(1), cfg, counters, 50.0);
+  int delivered = 0;
+  medium.attach(1, {0, 0}, 50.0, {});
+  medium.attach(2, {20, 0}, 50.0, {});
+  medium.attach(3, {10, 0}, 50.0, [&](const Packet&, NodeId) { ++delivered; });
+
+  Packet p;
+  p.type = PacketType::kBeacon;
+  p.dst = kBroadcastId;
+  medium.broadcast(1, p);
+  sim.run_until(1.0);  // first frame long gone
+  medium.broadcast(2, p);
+  sim.run_all();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(medium.collisions(), 0u);
+}
+
+TEST(MediumCollisionTest, BackoffJitterMostlySeparatesContenders) {
+  // With the default 2 ms backoff and ~46 us frames, two contending
+  // broadcasts collide rarely — the CSMA stand-in works.
+  sim::Simulator sim;
+  metrics::TransmissionCounters counters;
+  RadioConfig cfg;
+  cfg.model_collisions = true;
+  Medium medium(sim, sim::Rng(5), cfg, counters, 50.0);
+  int delivered = 0;
+  medium.attach(1, {0, 0}, 50.0, {});
+  medium.attach(2, {20, 0}, 50.0, {});
+  medium.attach(3, {10, 0}, 50.0, [&](const Packet&, NodeId) { ++delivered; });
+  Packet p;
+  p.type = PacketType::kBeacon;
+  p.dst = kBroadcastId;
+  for (int round = 0; round < 100; ++round) {
+    medium.broadcast(1, p);
+    medium.broadcast(2, p);
+    sim.run_all();
+  }
+  // 200 frames sent to node 3; expect >85% to survive the contention.
+  EXPECT_GT(delivered, 170);
+  EXPECT_LT(medium.collisions(), 60u);
+}
+
+TEST(MediumCollisionTest, UnicastsAreProtected) {
+  sim::Simulator sim;
+  metrics::TransmissionCounters counters;
+  RadioConfig cfg;
+  cfg.model_collisions = true;
+  cfg.max_backoff_s = 0.0;
+  Medium medium(sim, sim::Rng(1), cfg, counters, 50.0);
+  int delivered = 0;
+  medium.attach(1, {0, 0}, 50.0, {});
+  medium.attach(2, {20, 0}, 50.0, {});
+  medium.attach(3, {10, 0}, 50.0, [&](const Packet&, NodeId) { ++delivered; });
+  Packet p;
+  p.type = PacketType::kBeacon;
+  p.dst = 3;
+  EXPECT_TRUE(medium.unicast(1, 3, p));  // RTS/CTS-protected: no collision
+  EXPECT_TRUE(medium.unicast(2, 3, p));
+  sim.run_all();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(medium.collisions(), 0u);
+}
+
+// --- Packet ------------------------------------------------------------------------
+
+TEST(PacketTest, SizeDependsOnType) {
+  Packet a, b;
+  a.type = PacketType::kBeacon;
+  b.type = PacketType::kFailureReport;
+  EXPECT_GT(b.size_bytes(), a.size_bytes());
+  EXPECT_GE(a.size_bytes(), 32u);  // at least the IP + option headers
+}
+
+TEST(PacketTest, CategoryMappingCoversAllTypes) {
+  EXPECT_EQ(category_of(PacketType::kBeacon), MessageCategory::kBeacon);
+  EXPECT_EQ(category_of(PacketType::kLocationAnnounce), MessageCategory::kInitialization);
+  EXPECT_EQ(category_of(PacketType::kGuardianConfirm), MessageCategory::kGuardianConfirm);
+  EXPECT_EQ(category_of(PacketType::kFailureReport), MessageCategory::kFailureReport);
+  EXPECT_EQ(category_of(PacketType::kRepairRequest), MessageCategory::kRepairRequest);
+  EXPECT_EQ(category_of(PacketType::kLocationUpdate), MessageCategory::kLocationUpdate);
+  EXPECT_EQ(category_of(PacketType::kReplacementAnnounce), MessageCategory::kReplacement);
+}
+
+TEST(PacketTest, NodeIdPredicates) {
+  EXPECT_TRUE(is_real_node(0));
+  EXPECT_TRUE(is_real_node(12345));
+  EXPECT_FALSE(is_real_node(kNoNode));
+  EXPECT_FALSE(is_real_node(kBroadcastId));
+}
+
+}  // namespace
+}  // namespace sensrep::net

@@ -1,0 +1,67 @@
+// Golden regression suite: exact per-seed results for the three algorithms.
+//
+// The simulator is deterministic by design (seeded RNG streams, sequence-
+// numbered event ordering), so these values must reproduce bit-for-bit on
+// any standard-conforming toolchain. A failure here means an intentional
+// behavior change (update the goldens, and re-run the figure benches so
+// EXPERIMENTS.md stays honest) or an accidental one (a bug).
+//
+// Golden values recorded from: seed 2026, 4 robots, 8000 s horizon.
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace sensrep::core {
+namespace {
+
+struct Golden {
+  Algorithm algorithm;
+  std::size_t failures;
+  std::size_t repaired;
+  double travel;
+  double report_hops;
+  double request_hops;
+  double update_tx;
+  double total_distance;
+};
+
+class GoldenRegression : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenRegression, ExactResultsReproduce) {
+  const Golden& g = GetParam();
+  SimulationConfig cfg;
+  cfg.algorithm = g.algorithm;
+  cfg.robots = 4;
+  cfg.seed = 2026;
+  cfg.sim_duration = 8000.0;
+  Simulation s(cfg);
+  s.run();
+  const auto r = s.result();
+
+  EXPECT_EQ(r.failures, g.failures);
+  EXPECT_EQ(r.repaired, g.repaired);
+  // Doubles with a hair of slack for -ffast-math-free toolchain variation in
+  // transcendental functions (exp/log in the RNG draws).
+  EXPECT_NEAR(r.avg_travel_per_repair, g.travel, 1e-3);
+  EXPECT_NEAR(r.avg_report_hops, g.report_hops, 1e-3);
+  EXPECT_NEAR(r.avg_request_hops, g.request_hops, 1e-3);
+  EXPECT_NEAR(r.location_update_tx_per_repair, g.update_tx, 1e-3);
+  EXPECT_NEAR(r.total_robot_distance, g.total_distance, 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, GoldenRegression,
+    ::testing::Values(
+        Golden{Algorithm::kCentralized, 105, 101, 101.320001, 3.588235, 1.058824,
+               11.396040, 10293.320087},
+        Golden{Algorithm::kFixedDistributed, 103, 101, 104.893234, 2.490196, 0.0,
+               288.801980, 10594.216595},
+        Golden{Algorithm::kDynamicDistributed, 104, 102, 101.962992, 2.330097, 0.0,
+               353.362745, 10420.225173}),
+    [](const ::testing::TestParamInfo<Golden>& param_info) {
+      return std::string(to_string(param_info.param.algorithm));
+    });
+
+}  // namespace
+}  // namespace sensrep::core

@@ -1,0 +1,320 @@
+// Unit tests for the discrete-event kernel: event queue ordering and
+// cancellation, simulator clock semantics, periodic timers, RNG streams.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace sensrep::sim {
+namespace {
+
+// --- EventQueue --------------------------------------------------------------
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesPopInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelledEventSkippedByNextTime) {
+  EventQueue q;
+  const EventId early = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_TRUE(q.cancel(early));
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueueTest, SizeCountsLiveEventsOnly) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, RejectsInvalidTimeAndNullCallback) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule(kNever, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule(1.0, EventQueue::Callback{}), std::invalid_argument);
+}
+
+// --- Simulator -----------------------------------------------------------------
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes) {
+  Simulator s;
+  std::vector<double> seen;
+  s.at(1.5, [&] { seen.push_back(s.now()); });
+  s.at(4.0, [&] { seen.push_back(s.now()); });
+  s.run_all();
+  EXPECT_EQ(seen, (std::vector<double>{1.5, 4.0}));
+}
+
+TEST(SimulatorTest, InSchedulesRelativeToNow) {
+  Simulator s;
+  double fired_at = -1.0;
+  s.at(10.0, [&] { s.in(5.0, [&] { fired_at = s.now(); }); });
+  s.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizonAndLandsClockThere) {
+  Simulator s;
+  int count = 0;
+  s.at(1.0, [&] { ++count; });
+  s.at(2.0, [&] { ++count; });
+  s.at(10.0, [&] { ++count; });
+  s.run_until(5.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  s.run_until(20.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, EventExactlyAtHorizonRuns) {
+  Simulator s;
+  bool ran = false;
+  s.at(5.0, [&] { ran = true; });
+  s.run_until(5.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, RejectsPastScheduling) {
+  Simulator s;
+  s.at(5.0, [] {});
+  s.run_all();
+  EXPECT_THROW(s.at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(s.in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, PeriodicFiresAtMultiples) {
+  Simulator s;
+  std::vector<double> times;
+  const EventId series = s.every(2.0, [&] { times.push_back(s.now()); });
+  s.run_until(7.0);
+  s.cancel(series);
+  EXPECT_EQ(times, (std::vector<double>{2.0, 4.0, 6.0}));
+}
+
+TEST(SimulatorTest, CancelPeriodicStopsSeries) {
+  Simulator s;
+  int count = 0;
+  const EventId series = s.every(1.0, [&] { ++count; });
+  s.run_until(3.5);
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(s.cancel(series));
+  s.run_until(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, CancelPeriodicFromInsideItsOwnCallback) {
+  Simulator s;
+  int count = 0;
+  EventId series{};
+  series = s.every(1.0, [&] {
+    ++count;
+    if (count == 2) s.cancel(series);
+  });
+  s.run_until(10.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(SimulatorTest, StopAbortsRun) {
+  Simulator s;
+  int count = 0;
+  s.every(1.0, [&] {
+    ++count;
+    if (count == 5) s.stop();
+  });
+  s.run_until(100.0);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator s;
+  int count = 0;
+  s.at(1.0, [&] { ++count; });
+  s.at(2.0, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, ExecutedCounterAccumulates) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.at(static_cast<double>(i), [] {});
+  s.run_all();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+// --- Rng ------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 9.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng r(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BelowStaysBelow) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RngTest, BelowCoversAllResidues) {
+  Rng r(5);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 5000; ++i) ++hits[r.below(5)];
+  for (const int h : hits) EXPECT_GT(h, 800);  // ~1000 expected each
+}
+
+TEST(RngTest, BetweenInclusive) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng r(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(16000.0);
+  EXPECT_NEAR(sum / n, 16000.0, 16000.0 * 0.02);
+}
+
+TEST(RngTest, ExponentialAlwaysPositive) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(r.exponential(1.0), 0.0);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceFrequencyTracksP) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  const Rng parent(42);
+  Rng a = parent.fork("medium");
+  Rng b = parent.fork("medium");
+  Rng c = parent.fork("field");
+  EXPECT_EQ(a(), b());      // same name -> same stream
+  Rng a2 = parent.fork("medium");
+  EXPECT_NE(a2(), c());     // different names -> different streams
+}
+
+TEST(RngTest, ForkDoesNotAdvanceParent) {
+  Rng p1(42), p2(42);
+  (void)p1.fork("x");
+  (void)p1.fork("y");
+  EXPECT_EQ(p1(), p2());
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng r(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng r(3);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto before = v;
+  r.shuffle(v);
+  EXPECT_NE(v, before);
+}
+
+}  // namespace
+}  // namespace sensrep::sim

@@ -1,0 +1,95 @@
+#pragma once
+
+// Minimal command-line flag parser for the sensrep tools.
+//
+// Supports "--name=value", "--name value" and boolean "--name" forms, plus
+// positional arguments. Unknown flags are an error (typos should not be
+// silently ignored in an experiment driver).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sensrep::tools {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg.erase(0, 2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        continue;
+      }
+      // "--name value" when the next token is not itself a flag; otherwise a
+      // boolean "--name".
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[arg] = argv[++i];
+      } else {
+        flags_[arg] = "";
+      }
+    }
+  }
+
+  /// Declares a flag as known; returns its raw value if present.
+  std::optional<std::string> get(const std::string& name) {
+    known_.push_back(name);
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) { return get(name).has_value(); }
+
+  std::string get_string(const std::string& name, std::string fallback) {
+    const auto v = get(name);
+    return v ? *v : std::move(fallback);
+  }
+
+  double get_double(const std::string& name, double fallback) {
+    const auto v = get(name);
+    if (!v) return fallback;
+    try {
+      return std::stod(*v);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--" + name + ": expected a number, got '" + *v + "'");
+    }
+  }
+
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) {
+    const auto v = get(name);
+    if (!v) return fallback;
+    try {
+      return std::stoull(*v);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--" + name + ": expected an integer, got '" + *v + "'");
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Throws if the command line named any flag never declared via get()/has().
+  void reject_unknown() const {
+    for (const auto& [name, value] : flags_) {
+      bool ok = false;
+      for (const auto& k : known_) ok = ok || k == name;
+      if (!ok) throw std::invalid_argument("unknown flag --" + name);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> known_;
+};
+
+}  // namespace sensrep::tools

@@ -1,0 +1,172 @@
+// sensrep_cli — experiment driver exposing the whole configuration surface.
+//
+//   sensrep_cli [flags]
+//
+//   --algorithm=centralized|fixed|dynamic   coordination algorithm (default: dynamic)
+//   --robots=N          maintenance robots (default 4; field scales with it)
+//   --seed=N            master seed (default 1)
+//   --duration=S        simulated seconds (default 64000, the paper's horizon)
+//   --replications=N    run N seeds and report mean +- 95% CI (default 1)
+//   --loss=P            per-reception Bernoulli loss probability (default 0)
+//   --partition=square|hexagon              fixed algorithm subarea shape
+//   --fringe=M          dynamic relay fringe in meters (default 20)
+//   --lifetime=exponential|weibull:K|battery:J   lifetime distribution
+//   --mean-lifetime=S   E[lifetime] seconds (default 16000)
+//   --queue-aware       enable queue-aware centralized dispatch (E9)
+//   --efficient-broadcast  enable Wu-Li self-pruning relays (E6)
+//   --neighborhood-watch   enable the correlated-failure detection extension
+//   --reliable-reports  end-to-end acked failure reports with retransmission
+//   --idle-reposition   idle robots return to their region centroid (E12)
+//   --collisions        model broadcast-frame collisions at receivers
+//   --csv=PATH          append one result row per run to a CSV file
+//   --trace=PATH        write the failure-lifecycle event log as JSON lines
+//   --histogram         print an ASCII histogram of repair latencies
+//   --quiet             print only the CSV/summary line
+//
+// Examples:
+//   sensrep_cli --algorithm=dynamic --robots=16
+//   sensrep_cli --algorithm=centralized --robots=9 --replications=5
+//   sensrep_cli --lifetime=weibull:4 --duration=32000 --csv=results.csv
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+
+#include "core/replication.hpp"
+#include "core/simulation.hpp"
+#include "metrics/csv.hpp"
+#include "metrics/histogram.hpp"
+#include "tools/args.hpp"
+#include "trace/event_log.hpp"
+
+namespace {
+
+using namespace sensrep;
+
+core::Algorithm parse_algorithm(const std::string& s) {
+  if (s == "centralized") return core::Algorithm::kCentralized;
+  if (s == "fixed") return core::Algorithm::kFixedDistributed;
+  if (s == "dynamic") return core::Algorithm::kDynamicDistributed;
+  throw std::invalid_argument("--algorithm: expected centralized|fixed|dynamic, got " + s);
+}
+
+void parse_lifetime(const std::string& s, wsn::LifetimeModel& model) {
+  const auto colon = s.find(':');
+  const std::string kind = s.substr(0, colon);
+  const std::string param = colon == std::string::npos ? "" : s.substr(colon + 1);
+  if (kind == "exponential") {
+    model.distribution = wsn::LifetimeDistribution::kExponential;
+  } else if (kind == "weibull") {
+    model.distribution = wsn::LifetimeDistribution::kWeibull;
+    if (!param.empty()) model.weibull_shape = std::stod(param);
+  } else if (kind == "battery") {
+    model.distribution = wsn::LifetimeDistribution::kBatteryLinear;
+    if (!param.empty()) model.battery_jitter = std::stod(param);
+  } else {
+    throw std::invalid_argument(
+        "--lifetime: expected exponential|weibull:K|battery:J, got " + s);
+  }
+}
+
+void append_csv(const std::string& path, const core::SimulationConfig& cfg,
+                const core::ExperimentResult& r) {
+  const bool fresh = !std::ifstream(path).good();
+  std::ofstream out(path, std::ios::app);
+  metrics::CsvWriter csv(out);
+  if (fresh) {
+    csv.row({"algorithm", "robots", "seed", "duration_s", "loss", "failures", "repaired",
+             "travel_m_per_failure", "report_hops", "request_hops",
+             "update_tx_per_failure", "repair_latency_s", "p95_latency_s",
+             "delivery_ratio", "motion_energy_kj"});
+  }
+  csv.row(std::string(to_string(cfg.algorithm)), cfg.robots, r.seed, cfg.sim_duration,
+          cfg.radio.loss_probability, r.failures, r.repaired, r.avg_travel_per_repair,
+          r.avg_report_hops, r.avg_request_hops, r.location_update_tx_per_repair,
+          r.avg_repair_latency, r.p95_repair_latency, r.delivery_ratio,
+          r.motion_energy_j / 1000.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    tools::Args args(argc, argv);
+    if (args.has("help")) {
+      std::cout << "see the header of tools/sensrep_cli.cpp for flag documentation\n";
+      return 0;
+    }
+
+    core::SimulationConfig cfg;
+    cfg.algorithm = parse_algorithm(args.get_string("algorithm", "dynamic"));
+    cfg.robots = args.get_u64("robots", 4);
+    cfg.seed = args.get_u64("seed", 1);
+    cfg.sim_duration = args.get_double("duration", 64000.0);
+    cfg.radio.loss_probability = args.get_double("loss", 0.0);
+    cfg.dynamic_fringe = args.get_double("fringe", 20.0);
+    cfg.field.lifetime.mean = args.get_double("mean-lifetime", 16000.0);
+    parse_lifetime(args.get_string("lifetime", "exponential"), cfg.field.lifetime);
+    const std::string partition = args.get_string("partition", "square");
+    if (partition == "hexagon") {
+      cfg.partition = core::PartitionShape::kHexagon;
+    } else if (partition != "square") {
+      throw std::invalid_argument("--partition: expected square|hexagon");
+    }
+    cfg.queue_aware_dispatch = args.has("queue-aware");
+    cfg.efficient_broadcast = args.has("efficient-broadcast");
+    cfg.field.neighborhood_watch = args.has("neighborhood-watch");
+    cfg.field.reliable_reports = args.has("reliable-reports");
+    cfg.idle_reposition = args.has("idle-reposition");
+    cfg.radio.model_collisions = args.has("collisions");
+
+    const auto replications = args.get_u64("replications", 1);
+    const auto csv_path = args.get_string("csv", "");
+    const auto trace_path = args.get_string("trace", "");
+    const bool histogram = args.has("histogram");
+    const bool quiet = args.has("quiet");
+    args.reject_unknown();
+    cfg.validate();
+
+    if (replications > 1) {
+      const auto rep = core::run_replicated(cfg, replications);
+      std::cout << rep.summary();
+      return 0;
+    }
+
+    core::Simulation simulation(cfg);
+    trace::EventLog events;
+    if (!trace_path.empty()) simulation.attach_event_log(events);
+    simulation.run();
+    const auto result = simulation.result();
+    if (!quiet) std::cout << result.summary();
+    if (histogram) {
+      std::vector<double> latencies;
+      for (const auto& rec : simulation.failure_log().records()) {
+        if (rec.repaired()) latencies.push_back(rec.repair_latency());
+      }
+      if (!latencies.empty()) {
+        const double hi =
+            *std::max_element(latencies.begin(), latencies.end()) * 1.001;
+        metrics::Histogram h(0.0, hi, 12);
+        h.add_all(latencies);
+        std::cout << "repair latency distribution (s):\n" << h.ascii();
+      }
+    }
+    if (!csv_path.empty()) {
+      append_csv(csv_path, cfg, result);
+      if (!quiet) std::cout << "appended to " << csv_path << "\n";
+    }
+    if (!trace_path.empty()) {
+      if (!events.save_jsonl(trace_path)) {
+        std::cerr << "sensrep_cli: failed to write " << trace_path << "\n";
+        return 2;
+      }
+      if (!quiet) {
+        std::cout << "wrote " << events.size() << " events to " << trace_path << "\n";
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "sensrep_cli: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,105 @@
+// sensrep_sweep — regenerates the paper's full evaluation grid as one CSV:
+// every algorithm x robot-count x seed, all figure metrics per row. The
+// figure benches print the curated tables; this tool produces the raw data
+// a plotting pipeline (gnuplot/matplotlib) consumes, and emits a gnuplot
+// script for the three figures alongside.
+//
+//   sensrep_sweep [--out=sweep.csv] [--seeds=N] [--duration=S] [--quick]
+//
+//   --out=PATH       CSV destination (default sweep.csv)
+//   --seeds=N        replications per cell (default 3)
+//   --duration=S     simulated seconds per run (default 64000; --quick=8000)
+//   --gnuplot=PATH   also write a gnuplot script plotting figs 2-4 from the CSV
+
+#include <fstream>
+#include <iostream>
+
+#include "core/simulation.hpp"
+#include "metrics/csv.hpp"
+#include "tools/args.hpp"
+
+namespace {
+
+using namespace sensrep;
+
+void write_gnuplot(const std::string& path, const std::string& csv) {
+  std::ofstream out(path);
+  out << "# gnuplot script regenerating the paper's figures from " << csv << "\n"
+      << "set datafile separator ','\n"
+      << "set key top left\n"
+      << "set xlabel 'number of maintenance robots'\n"
+      << "set terminal pngcairo size 800,600\n\n"
+      << "set output 'fig2_motion.png'\n"
+      << "set ylabel 'avg traveling distance per failure (m)'\n"
+      << "set yrange [0:*]\n"
+      << "plot for [a in 'centralized fixed dynamic'] '" << csv
+      << "' using 2:(strcol(1) eq a ? $8 : 1/0) smooth unique with linespoints title a\n\n"
+      << "set output 'fig3_hops.png'\n"
+      << "set ylabel 'avg hops per failure'\n"
+      << "plot for [a in 'centralized fixed dynamic'] '" << csv
+      << "' using 2:(strcol(1) eq a ? $9 : 1/0) smooth unique with linespoints "
+         "title a.' report', '"
+      << csv
+      << "' using 2:(strcol(1) eq 'centralized' ? $10 : 1/0) smooth unique with "
+         "linespoints title 'centralized request'\n\n"
+      << "set output 'fig4_updates.png'\n"
+      << "set ylabel 'location-update transmissions per failure'\n"
+      << "plot for [a in 'centralized fixed dynamic'] '" << csv
+      << "' using 2:(strcol(1) eq a ? $11 : 1/0) smooth unique with linespoints title a\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    tools::Args args(argc, argv);
+    const std::string out_path = args.get_string("out", "sweep.csv");
+    const auto seeds = args.get_u64("seeds", 3);
+    double duration = args.get_double("duration", 64000.0);
+    if (args.has("quick")) duration = 8000.0;
+    const std::string gnuplot_path = args.get_string("gnuplot", "");
+    args.reject_unknown();
+
+    std::ofstream out(out_path);
+    metrics::CsvWriter csv(out);
+    csv.row({"algorithm", "robots", "seed", "duration_s", "failures", "repaired",
+             "delivery_ratio", "travel_m_per_failure", "report_hops", "request_hops",
+             "update_tx_per_failure", "repair_latency_s", "p95_latency_s",
+             "motion_energy_kj"});
+
+    std::size_t runs = 0;
+    for (const auto algorithm :
+         {core::Algorithm::kCentralized, core::Algorithm::kFixedDistributed,
+          core::Algorithm::kDynamicDistributed}) {
+      for (const std::size_t robots : {4u, 9u, 16u}) {
+        for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+          core::SimulationConfig cfg;
+          cfg.algorithm = algorithm;
+          cfg.robots = robots;
+          cfg.seed = seed;
+          cfg.sim_duration = duration;
+          core::Simulation sim(cfg);
+          sim.run();
+          const auto r = sim.result();
+          csv.row(std::string(to_string(algorithm)), robots, seed, duration, r.failures,
+                  r.repaired, r.delivery_ratio, r.avg_travel_per_repair,
+                  r.avg_report_hops, r.avg_request_hops, r.location_update_tx_per_repair,
+                  r.avg_repair_latency, r.p95_repair_latency,
+                  r.motion_energy_j / 1000.0);
+          ++runs;
+          std::cerr << "\r" << runs << "/" << 9 * seeds << " runs" << std::flush;
+        }
+      }
+    }
+    std::cerr << "\n";
+    std::cout << "wrote " << runs << " rows to " << out_path << "\n";
+    if (!gnuplot_path.empty()) {
+      write_gnuplot(gnuplot_path, out_path);
+      std::cout << "wrote " << gnuplot_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "sensrep_sweep: " << e.what() << "\n";
+    return 2;
+  }
+}
