@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_failure_model.dir/ablation_failure_model.cpp.o"
+  "CMakeFiles/ablation_failure_model.dir/ablation_failure_model.cpp.o.d"
+  "ablation_failure_model"
+  "ablation_failure_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failure_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_repair_value.dir/ablation_repair_value.cpp.o"
+  "CMakeFiles/ablation_repair_value.dir/ablation_repair_value.cpp.o.d"
+  "ablation_repair_value"
+  "ablation_repair_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_repair_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reposition.dir/ablation_reposition.cpp.o"
+  "CMakeFiles/ablation_reposition.dir/ablation_reposition.cpp.o.d"
+  "ablation_reposition"
+  "ablation_reposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_cascading.dir/baseline_cascading.cpp.o"
+  "CMakeFiles/baseline_cascading.dir/baseline_cascading.cpp.o.d"
+  "baseline_cascading"
+  "baseline_cascading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_cascading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_report_hops.dir/fig3_report_hops.cpp.o"
+  "CMakeFiles/fig3_report_hops.dir/fig3_report_hops.cpp.o.d"
+  "fig3_report_hops"
+  "fig3_report_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_report_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

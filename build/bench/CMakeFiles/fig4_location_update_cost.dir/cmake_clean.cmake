@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_location_update_cost.dir/fig4_location_update_cost.cpp.o"
+  "CMakeFiles/fig4_location_update_cost.dir/fig4_location_update_cost.cpp.o.d"
+  "fig4_location_update_cost"
+  "fig4_location_update_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_location_update_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

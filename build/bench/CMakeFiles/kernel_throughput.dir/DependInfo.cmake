@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/kernel_throughput.cpp" "bench/CMakeFiles/kernel_throughput.dir/kernel_throughput.cpp.o" "gcc" "bench/CMakeFiles/kernel_throughput.dir/kernel_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sensrep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/sensrep_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/robot/CMakeFiles/sensrep_robot.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/sensrep_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/sensrep_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sensrep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sensrep_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sensrep_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sensrep_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sensrep_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_yield.dir/data_yield.cpp.o"
+  "CMakeFiles/data_yield.dir/data_yield.cpp.o.d"
+  "data_yield"
+  "data_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

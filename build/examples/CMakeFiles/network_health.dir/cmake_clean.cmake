@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_health.dir/network_health.cpp.o"
+  "CMakeFiles/network_health.dir/network_health.cpp.o.d"
+  "network_health"
+  "network_health.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_health.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voronoi_svg.dir/voronoi_svg.cpp.o"
+  "CMakeFiles/voronoi_svg.dir/voronoi_svg.cpp.o.d"
+  "voronoi_svg"
+  "voronoi_svg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voronoi_svg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensrep_baseline.dir/cascading_relocation.cpp.o"
+  "CMakeFiles/sensrep_baseline.dir/cascading_relocation.cpp.o.d"
+  "libsensrep_baseline.a"
+  "libsensrep_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensrep_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/centralized.cpp" "src/core/CMakeFiles/sensrep_core.dir/centralized.cpp.o" "gcc" "src/core/CMakeFiles/sensrep_core.dir/centralized.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/sensrep_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/sensrep_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/coordination.cpp" "src/core/CMakeFiles/sensrep_core.dir/coordination.cpp.o" "gcc" "src/core/CMakeFiles/sensrep_core.dir/coordination.cpp.o.d"
+  "/root/repo/src/core/data_collection.cpp" "src/core/CMakeFiles/sensrep_core.dir/data_collection.cpp.o" "gcc" "src/core/CMakeFiles/sensrep_core.dir/data_collection.cpp.o.d"
+  "/root/repo/src/core/dynamic_distributed.cpp" "src/core/CMakeFiles/sensrep_core.dir/dynamic_distributed.cpp.o" "gcc" "src/core/CMakeFiles/sensrep_core.dir/dynamic_distributed.cpp.o.d"
+  "/root/repo/src/core/fixed_distributed.cpp" "src/core/CMakeFiles/sensrep_core.dir/fixed_distributed.cpp.o" "gcc" "src/core/CMakeFiles/sensrep_core.dir/fixed_distributed.cpp.o.d"
+  "/root/repo/src/core/manager_node.cpp" "src/core/CMakeFiles/sensrep_core.dir/manager_node.cpp.o" "gcc" "src/core/CMakeFiles/sensrep_core.dir/manager_node.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/core/CMakeFiles/sensrep_core.dir/replication.cpp.o" "gcc" "src/core/CMakeFiles/sensrep_core.dir/replication.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/sensrep_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/sensrep_core.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/robot/CMakeFiles/sensrep_robot.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/sensrep_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sensrep_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/sensrep_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sensrep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sensrep_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sensrep_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sensrep_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

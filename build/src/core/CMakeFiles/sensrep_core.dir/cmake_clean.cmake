@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensrep_core.dir/centralized.cpp.o"
+  "CMakeFiles/sensrep_core.dir/centralized.cpp.o.d"
+  "CMakeFiles/sensrep_core.dir/config.cpp.o"
+  "CMakeFiles/sensrep_core.dir/config.cpp.o.d"
+  "CMakeFiles/sensrep_core.dir/coordination.cpp.o"
+  "CMakeFiles/sensrep_core.dir/coordination.cpp.o.d"
+  "CMakeFiles/sensrep_core.dir/data_collection.cpp.o"
+  "CMakeFiles/sensrep_core.dir/data_collection.cpp.o.d"
+  "CMakeFiles/sensrep_core.dir/dynamic_distributed.cpp.o"
+  "CMakeFiles/sensrep_core.dir/dynamic_distributed.cpp.o.d"
+  "CMakeFiles/sensrep_core.dir/fixed_distributed.cpp.o"
+  "CMakeFiles/sensrep_core.dir/fixed_distributed.cpp.o.d"
+  "CMakeFiles/sensrep_core.dir/manager_node.cpp.o"
+  "CMakeFiles/sensrep_core.dir/manager_node.cpp.o.d"
+  "CMakeFiles/sensrep_core.dir/replication.cpp.o"
+  "CMakeFiles/sensrep_core.dir/replication.cpp.o.d"
+  "CMakeFiles/sensrep_core.dir/simulation.cpp.o"
+  "CMakeFiles/sensrep_core.dir/simulation.cpp.o.d"
+  "libsensrep_core.a"
+  "libsensrep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensrep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/coverage.cpp" "src/geometry/CMakeFiles/sensrep_geometry.dir/coverage.cpp.o" "gcc" "src/geometry/CMakeFiles/sensrep_geometry.dir/coverage.cpp.o.d"
+  "/root/repo/src/geometry/graph_analysis.cpp" "src/geometry/CMakeFiles/sensrep_geometry.dir/graph_analysis.cpp.o" "gcc" "src/geometry/CMakeFiles/sensrep_geometry.dir/graph_analysis.cpp.o.d"
+  "/root/repo/src/geometry/localization.cpp" "src/geometry/CMakeFiles/sensrep_geometry.dir/localization.cpp.o" "gcc" "src/geometry/CMakeFiles/sensrep_geometry.dir/localization.cpp.o.d"
+  "/root/repo/src/geometry/partition.cpp" "src/geometry/CMakeFiles/sensrep_geometry.dir/partition.cpp.o" "gcc" "src/geometry/CMakeFiles/sensrep_geometry.dir/partition.cpp.o.d"
+  "/root/repo/src/geometry/polygon.cpp" "src/geometry/CMakeFiles/sensrep_geometry.dir/polygon.cpp.o" "gcc" "src/geometry/CMakeFiles/sensrep_geometry.dir/polygon.cpp.o.d"
+  "/root/repo/src/geometry/segment.cpp" "src/geometry/CMakeFiles/sensrep_geometry.dir/segment.cpp.o" "gcc" "src/geometry/CMakeFiles/sensrep_geometry.dir/segment.cpp.o.d"
+  "/root/repo/src/geometry/spatial_hash.cpp" "src/geometry/CMakeFiles/sensrep_geometry.dir/spatial_hash.cpp.o" "gcc" "src/geometry/CMakeFiles/sensrep_geometry.dir/spatial_hash.cpp.o.d"
+  "/root/repo/src/geometry/voronoi.cpp" "src/geometry/CMakeFiles/sensrep_geometry.dir/voronoi.cpp.o" "gcc" "src/geometry/CMakeFiles/sensrep_geometry.dir/voronoi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sensrep_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensrep_geometry.dir/coverage.cpp.o"
+  "CMakeFiles/sensrep_geometry.dir/coverage.cpp.o.d"
+  "CMakeFiles/sensrep_geometry.dir/graph_analysis.cpp.o"
+  "CMakeFiles/sensrep_geometry.dir/graph_analysis.cpp.o.d"
+  "CMakeFiles/sensrep_geometry.dir/localization.cpp.o"
+  "CMakeFiles/sensrep_geometry.dir/localization.cpp.o.d"
+  "CMakeFiles/sensrep_geometry.dir/partition.cpp.o"
+  "CMakeFiles/sensrep_geometry.dir/partition.cpp.o.d"
+  "CMakeFiles/sensrep_geometry.dir/polygon.cpp.o"
+  "CMakeFiles/sensrep_geometry.dir/polygon.cpp.o.d"
+  "CMakeFiles/sensrep_geometry.dir/segment.cpp.o"
+  "CMakeFiles/sensrep_geometry.dir/segment.cpp.o.d"
+  "CMakeFiles/sensrep_geometry.dir/spatial_hash.cpp.o"
+  "CMakeFiles/sensrep_geometry.dir/spatial_hash.cpp.o.d"
+  "CMakeFiles/sensrep_geometry.dir/voronoi.cpp.o"
+  "CMakeFiles/sensrep_geometry.dir/voronoi.cpp.o.d"
+  "libsensrep_geometry.a"
+  "libsensrep_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensrep_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/counters.cpp" "src/metrics/CMakeFiles/sensrep_metrics.dir/counters.cpp.o" "gcc" "src/metrics/CMakeFiles/sensrep_metrics.dir/counters.cpp.o.d"
+  "/root/repo/src/metrics/csv.cpp" "src/metrics/CMakeFiles/sensrep_metrics.dir/csv.cpp.o" "gcc" "src/metrics/CMakeFiles/sensrep_metrics.dir/csv.cpp.o.d"
+  "/root/repo/src/metrics/failure_log.cpp" "src/metrics/CMakeFiles/sensrep_metrics.dir/failure_log.cpp.o" "gcc" "src/metrics/CMakeFiles/sensrep_metrics.dir/failure_log.cpp.o.d"
+  "/root/repo/src/metrics/histogram.cpp" "src/metrics/CMakeFiles/sensrep_metrics.dir/histogram.cpp.o" "gcc" "src/metrics/CMakeFiles/sensrep_metrics.dir/histogram.cpp.o.d"
+  "/root/repo/src/metrics/summary.cpp" "src/metrics/CMakeFiles/sensrep_metrics.dir/summary.cpp.o" "gcc" "src/metrics/CMakeFiles/sensrep_metrics.dir/summary.cpp.o.d"
+  "/root/repo/src/metrics/timeline.cpp" "src/metrics/CMakeFiles/sensrep_metrics.dir/timeline.cpp.o" "gcc" "src/metrics/CMakeFiles/sensrep_metrics.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sensrep_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensrep_metrics.dir/counters.cpp.o"
+  "CMakeFiles/sensrep_metrics.dir/counters.cpp.o.d"
+  "CMakeFiles/sensrep_metrics.dir/csv.cpp.o"
+  "CMakeFiles/sensrep_metrics.dir/csv.cpp.o.d"
+  "CMakeFiles/sensrep_metrics.dir/failure_log.cpp.o"
+  "CMakeFiles/sensrep_metrics.dir/failure_log.cpp.o.d"
+  "CMakeFiles/sensrep_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/sensrep_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/sensrep_metrics.dir/summary.cpp.o"
+  "CMakeFiles/sensrep_metrics.dir/summary.cpp.o.d"
+  "CMakeFiles/sensrep_metrics.dir/timeline.cpp.o"
+  "CMakeFiles/sensrep_metrics.dir/timeline.cpp.o.d"
+  "libsensrep_metrics.a"
+  "libsensrep_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensrep_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensrep_net.dir/medium.cpp.o"
+  "CMakeFiles/sensrep_net.dir/medium.cpp.o.d"
+  "CMakeFiles/sensrep_net.dir/packet.cpp.o"
+  "CMakeFiles/sensrep_net.dir/packet.cpp.o.d"
+  "libsensrep_net.a"
+  "libsensrep_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensrep_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

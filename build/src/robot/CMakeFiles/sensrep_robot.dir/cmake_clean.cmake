@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensrep_robot.dir/robot.cpp.o"
+  "CMakeFiles/sensrep_robot.dir/robot.cpp.o.d"
+  "CMakeFiles/sensrep_robot.dir/task_queue.cpp.o"
+  "CMakeFiles/sensrep_robot.dir/task_queue.cpp.o.d"
+  "libsensrep_robot.a"
+  "libsensrep_robot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensrep_robot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/face_routing.cpp" "src/routing/CMakeFiles/sensrep_routing.dir/face_routing.cpp.o" "gcc" "src/routing/CMakeFiles/sensrep_routing.dir/face_routing.cpp.o.d"
+  "/root/repo/src/routing/geo_router.cpp" "src/routing/CMakeFiles/sensrep_routing.dir/geo_router.cpp.o" "gcc" "src/routing/CMakeFiles/sensrep_routing.dir/geo_router.cpp.o.d"
+  "/root/repo/src/routing/neighbor_table.cpp" "src/routing/CMakeFiles/sensrep_routing.dir/neighbor_table.cpp.o" "gcc" "src/routing/CMakeFiles/sensrep_routing.dir/neighbor_table.cpp.o.d"
+  "/root/repo/src/routing/planarizer.cpp" "src/routing/CMakeFiles/sensrep_routing.dir/planarizer.cpp.o" "gcc" "src/routing/CMakeFiles/sensrep_routing.dir/planarizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sensrep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sensrep_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sensrep_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sensrep_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

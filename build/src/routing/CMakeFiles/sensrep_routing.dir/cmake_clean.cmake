@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensrep_routing.dir/face_routing.cpp.o"
+  "CMakeFiles/sensrep_routing.dir/face_routing.cpp.o.d"
+  "CMakeFiles/sensrep_routing.dir/geo_router.cpp.o"
+  "CMakeFiles/sensrep_routing.dir/geo_router.cpp.o.d"
+  "CMakeFiles/sensrep_routing.dir/neighbor_table.cpp.o"
+  "CMakeFiles/sensrep_routing.dir/neighbor_table.cpp.o.d"
+  "CMakeFiles/sensrep_routing.dir/planarizer.cpp.o"
+  "CMakeFiles/sensrep_routing.dir/planarizer.cpp.o.d"
+  "libsensrep_routing.a"
+  "libsensrep_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensrep_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

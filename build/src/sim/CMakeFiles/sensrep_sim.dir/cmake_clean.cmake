@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensrep_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/sensrep_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/sensrep_sim.dir/rng.cpp.o"
+  "CMakeFiles/sensrep_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/sensrep_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sensrep_sim.dir/simulator.cpp.o.d"
+  "libsensrep_sim.a"
+  "libsensrep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensrep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/event_log.cpp" "src/trace/CMakeFiles/sensrep_trace.dir/event_log.cpp.o" "gcc" "src/trace/CMakeFiles/sensrep_trace.dir/event_log.cpp.o.d"
+  "/root/repo/src/trace/log.cpp" "src/trace/CMakeFiles/sensrep_trace.dir/log.cpp.o" "gcc" "src/trace/CMakeFiles/sensrep_trace.dir/log.cpp.o.d"
+  "/root/repo/src/trace/svg.cpp" "src/trace/CMakeFiles/sensrep_trace.dir/svg.cpp.o" "gcc" "src/trace/CMakeFiles/sensrep_trace.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sensrep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sensrep_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensrep_trace.dir/event_log.cpp.o"
+  "CMakeFiles/sensrep_trace.dir/event_log.cpp.o.d"
+  "CMakeFiles/sensrep_trace.dir/log.cpp.o"
+  "CMakeFiles/sensrep_trace.dir/log.cpp.o.d"
+  "CMakeFiles/sensrep_trace.dir/svg.cpp.o"
+  "CMakeFiles/sensrep_trace.dir/svg.cpp.o.d"
+  "libsensrep_trace.a"
+  "libsensrep_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensrep_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsn/deployment.cpp" "src/wsn/CMakeFiles/sensrep_wsn.dir/deployment.cpp.o" "gcc" "src/wsn/CMakeFiles/sensrep_wsn.dir/deployment.cpp.o.d"
+  "/root/repo/src/wsn/failure_model.cpp" "src/wsn/CMakeFiles/sensrep_wsn.dir/failure_model.cpp.o" "gcc" "src/wsn/CMakeFiles/sensrep_wsn.dir/failure_model.cpp.o.d"
+  "/root/repo/src/wsn/sensor_field.cpp" "src/wsn/CMakeFiles/sensrep_wsn.dir/sensor_field.cpp.o" "gcc" "src/wsn/CMakeFiles/sensrep_wsn.dir/sensor_field.cpp.o.d"
+  "/root/repo/src/wsn/sensor_node.cpp" "src/wsn/CMakeFiles/sensrep_wsn.dir/sensor_node.cpp.o" "gcc" "src/wsn/CMakeFiles/sensrep_wsn.dir/sensor_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/sensrep_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sensrep_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sensrep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sensrep_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/sensrep_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sensrep_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

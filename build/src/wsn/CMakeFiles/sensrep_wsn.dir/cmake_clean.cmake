@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensrep_wsn.dir/deployment.cpp.o"
+  "CMakeFiles/sensrep_wsn.dir/deployment.cpp.o.d"
+  "CMakeFiles/sensrep_wsn.dir/failure_model.cpp.o"
+  "CMakeFiles/sensrep_wsn.dir/failure_model.cpp.o.d"
+  "CMakeFiles/sensrep_wsn.dir/sensor_field.cpp.o"
+  "CMakeFiles/sensrep_wsn.dir/sensor_field.cpp.o.d"
+  "CMakeFiles/sensrep_wsn.dir/sensor_node.cpp.o"
+  "CMakeFiles/sensrep_wsn.dir/sensor_node.cpp.o.d"
+  "libsensrep_wsn.a"
+  "libsensrep_wsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensrep_wsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_collection_test.dir/data_collection_test.cpp.o"
+  "CMakeFiles/data_collection_test.dir/data_collection_test.cpp.o.d"
+  "data_collection_test"
+  "data_collection_test.pdb"
+  "data_collection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_collection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localization_test.dir/localization_test.cpp.o"
+  "CMakeFiles/localization_test.dir/localization_test.cpp.o.d"
+  "localization_test"
+  "localization_test.pdb"
+  "localization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

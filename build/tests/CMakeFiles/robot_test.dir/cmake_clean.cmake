@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_test.dir/robot_test.cpp.o"
+  "CMakeFiles/robot_test.dir/robot_test.cpp.o.d"
+  "robot_test"
+  "robot_test.pdb"
+  "robot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_test.dir/wsn_test.cpp.o"
+  "CMakeFiles/wsn_test.dir/wsn_test.cpp.o.d"
+  "wsn_test"
+  "wsn_test.pdb"
+  "wsn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

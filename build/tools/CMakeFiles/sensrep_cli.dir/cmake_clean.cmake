@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensrep_cli.dir/sensrep_cli.cpp.o"
+  "CMakeFiles/sensrep_cli.dir/sensrep_cli.cpp.o.d"
+  "sensrep_cli"
+  "sensrep_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensrep_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensrep_sweep.dir/sensrep_sweep.cpp.o"
+  "CMakeFiles/sensrep_sweep.dir/sensrep_sweep.cpp.o.d"
+  "sensrep_sweep"
+  "sensrep_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensrep_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
