@@ -9,37 +9,136 @@
 // numbers differ from the paper's GloMoSim testbed; the orderings and trends
 // are the reproduction target (see EXPERIMENTS.md).
 
+#include <bit>
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <tuple>
+#include <vector>
 
 #include "core/simulation.hpp"
+#include "runner/executor.hpp"
+#include "trace/format.hpp"
 
 namespace sensrep::bench {
 
 /// Paper §4.1 sweep: k^2 maintenance robots.
 inline constexpr std::size_t kRobotSweep[] = {4, 9, 16};
 
+namespace detail {
+
+// Duration is keyed on its exact bit pattern — truncating to an integer
+// would collide e.g. 8000.2 and 8000.9 into one cache slot.
+using CacheKey = std::tuple<core::Algorithm, std::size_t, std::uint64_t, std::uint64_t>;
+
+inline CacheKey make_key(core::Algorithm algorithm, std::size_t robots,
+                         std::uint64_t seed, double duration) {
+  return {algorithm, robots, seed, std::bit_cast<std::uint64_t>(duration)};
+}
+
+inline core::SimulationConfig make_config(core::Algorithm algorithm, std::size_t robots,
+                                          std::uint64_t seed, double duration) {
+  core::SimulationConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.robots = robots;
+  cfg.seed = seed;
+  cfg.sim_duration = duration;
+  return cfg;
+}
+
+// std::map keeps node addresses stable across inserts, so run_cached can
+// hand out references that outlive later fills.
+inline std::map<CacheKey, core::ExperimentResult>& cache() {
+  static std::map<CacheKey, core::ExperimentResult> c;
+  return c;
+}
+
+inline std::mutex& cache_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace detail
+
 /// One full paper-parameter run, memoized so the figure table and the
-/// google-benchmark timings reuse the same simulation.
+/// google-benchmark timings reuse the same simulation. Thread-safe; a miss
+/// runs outside the lock (two concurrent misses on the same key both run,
+/// deterministically, and the first insert wins).
 inline const core::ExperimentResult& run_cached(core::Algorithm algorithm,
                                                 std::size_t robots,
                                                 std::uint64_t seed = 1,
                                                 double duration = 64000.0) {
-  using Key = std::tuple<core::Algorithm, std::size_t, std::uint64_t, long long>;
-  static std::map<Key, core::ExperimentResult> cache;
-  const Key key{algorithm, robots, seed, static_cast<long long>(duration)};
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    core::SimulationConfig cfg;
-    cfg.algorithm = algorithm;
-    cfg.robots = robots;
-    cfg.seed = seed;
-    cfg.sim_duration = duration;
-    core::Simulation sim(cfg);
-    sim.run();
-    it = cache.emplace(key, sim.result()).first;
+  const auto key = detail::make_key(algorithm, robots, seed, duration);
+  {
+    const std::lock_guard lock(detail::cache_mu());
+    const auto it = detail::cache().find(key);
+    if (it != detail::cache().end()) return it->second;
   }
-  return it->second;
+  core::Simulation sim(detail::make_config(algorithm, robots, seed, duration));
+  sim.run();
+  auto result = sim.result();
+  const std::lock_guard lock(detail::cache_mu());
+  return detail::cache().emplace(key, std::move(result)).first->second;
+}
+
+/// One cache cell to prefill.
+struct CacheEntry {
+  core::Algorithm algorithm = core::Algorithm::kCentralized;
+  std::size_t robots = 4;
+  std::uint64_t seed = 1;
+  double duration = 64000.0;
+};
+
+/// Fills the memo cache for `entries` through the runner executor
+/// (jobs = 0 means hardware concurrency), skipping cells already cached.
+/// Figure benches call this before the timed section so the expensive cache
+/// fill uses every core; a cell that fails to run is left uncached and will
+/// surface its exception from the serial run_cached path instead.
+inline void warm_cache(const std::vector<CacheEntry>& entries, std::size_t jobs = 0) {
+  std::vector<runner::Job> pending;
+  std::vector<detail::CacheKey> keys;
+  for (const auto& e : entries) {
+    const auto key = detail::make_key(e.algorithm, e.robots, e.seed, e.duration);
+    {
+      const std::lock_guard lock(detail::cache_mu());
+      if (detail::cache().contains(key)) continue;
+    }
+    runner::Job job;
+    job.index = pending.size();
+    job.label = trace::strfmt("%s r=%zu seed=%llu",
+                              std::string(core::to_string(e.algorithm)).c_str(),
+                              e.robots, static_cast<unsigned long long>(e.seed));
+    job.config = detail::make_config(e.algorithm, e.robots, e.seed, e.duration);
+    pending.push_back(std::move(job));
+    keys.push_back(key);
+  }
+  if (pending.empty()) return;
+
+  runner::ExecutorOptions options;
+  options.jobs = jobs;
+  runner::Executor executor(options);
+  auto batch = executor.run(pending, &runner::Executor::run_simulation);
+
+  const std::lock_guard lock(detail::cache_mu());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (batch.results[i]) {
+      detail::cache().emplace(keys[i], std::move(*batch.results[i]));
+    }
+  }
+}
+
+/// Prefills the paper's full §4.3 grid: every algorithm x kRobotSweep cell
+/// at the default seed and horizon.
+inline void warm_paper_grid(std::size_t jobs = 0) {
+  std::vector<CacheEntry> entries;
+  for (const auto algorithm :
+       {core::Algorithm::kCentralized, core::Algorithm::kFixedDistributed,
+        core::Algorithm::kDynamicDistributed}) {
+    for (const std::size_t robots : kRobotSweep) {
+      entries.push_back({algorithm, robots, 1, 64000.0});
+    }
+  }
+  warm_cache(entries, jobs);
 }
 
 }  // namespace sensrep::bench

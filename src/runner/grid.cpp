@@ -1,0 +1,33 @@
+#include "runner/grid.hpp"
+
+#include "trace/format.hpp"
+
+namespace sensrep::runner {
+
+std::size_t ParameterGrid::size() const noexcept {
+  return algorithms.size() * robot_counts.size() * seeds;
+}
+
+std::vector<Job> ParameterGrid::expand() const {
+  std::vector<Job> jobs;
+  jobs.reserve(size());
+  for (const auto algorithm : algorithms) {
+    for (const std::size_t robots : robot_counts) {
+      for (std::size_t i = 0; i < seeds; ++i) {
+        Job job;
+        job.index = jobs.size();
+        job.config = base;
+        job.config.algorithm = algorithm;
+        job.config.robots = robots;
+        job.config.seed = first_seed + i;
+        job.label = trace::strfmt(
+            "%s r=%zu seed=%llu", std::string(core::to_string(algorithm)).c_str(),
+            robots, static_cast<unsigned long long>(job.config.seed));
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace sensrep::runner

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "runner/job.hpp"
+
+namespace sensrep::runner {
+
+/// Declarative algorithm × robot-count × seed grid — the shape of the
+/// paper's whole evaluation (§4.3, Figs. 2–4). Consumers describe the sweep
+/// they want; the executor owns how it runs.
+///
+/// Expansion order is the classic triple-nested loop — algorithm-major, then
+/// robots, then seed — and is a contract: every sink's output order inherits
+/// it, so CSVs stay byte-identical whether the batch ran on 1 thread or 64.
+struct ParameterGrid {
+  /// Every job starts from this config; the three axes below override
+  /// `algorithm`, `robots`, and `seed` per cell.
+  core::SimulationConfig base;
+
+  std::vector<core::Algorithm> algorithms{core::Algorithm::kCentralized,
+                                          core::Algorithm::kFixedDistributed,
+                                          core::Algorithm::kDynamicDistributed};
+  std::vector<std::size_t> robot_counts{4, 9, 16};
+  std::uint64_t first_seed = 1;
+  std::size_t seeds = 3;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Materializes the jobs with indices 0..size()-1 in expansion order.
+  [[nodiscard]] std::vector<Job> expand() const;
+};
+
+}  // namespace sensrep::runner

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/config.hpp"
+
+namespace sensrep::runner {
+
+/// One unit of batch work: a fully specified simulation run plus its fixed
+/// position in the batch. `index` is assigned at grid-expansion (or
+/// job-list construction) time and is the ONLY ordering the rest of the
+/// subsystem respects — worker count and completion order never leak into
+/// aggregated output.
+struct Job {
+  std::size_t index = 0;
+  std::string label;  ///< human tag for progress and failure lines
+  core::SimulationConfig config;
+};
+
+/// Structured record of a job that kept throwing after every allowed
+/// attempt. Sibling jobs are unaffected: the batch carries these records
+/// instead of aborting the whole sweep.
+struct JobFailure {
+  std::size_t index = 0;
+  std::string label;
+  std::size_t attempts = 0;  ///< total tries, including the first
+  std::string error;         ///< what() of the last exception
+};
+
+}  // namespace sensrep::runner

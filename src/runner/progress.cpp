@@ -1,0 +1,43 @@
+#include "runner/progress.hpp"
+
+#include <ostream>
+
+#include "trace/format.hpp"
+
+namespace sensrep::runner {
+
+ProgressMeter::ProgressMeter(std::size_t total, std::ostream* out)
+    : total_(total), out_(out), start_(std::chrono::steady_clock::now()) {}
+
+void ProgressMeter::job_done() {
+  done_.fetch_add(1, std::memory_order_relaxed);
+  if (out_ == nullptr) return;
+  const std::lock_guard lock(render_mu_);
+  (*out_) << "\r" << render() << std::flush;
+}
+
+void ProgressMeter::finish() {
+  if (out_ == nullptr) return;
+  const std::lock_guard lock(render_mu_);
+  (*out_) << "\r" << render() << "\n";
+}
+
+std::string ProgressMeter::render() const {
+  const std::size_t done = completed();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  const double pct =
+      total_ > 0 ? 100.0 * static_cast<double>(done) / static_cast<double>(total_) : 100.0;
+  std::string line = trace::strfmt("%zu/%zu runs (%.0f%%)", done, total_, pct);
+  if (done > 0 && rate > 0.0) {
+    line += trace::strfmt(" | %.2f runs/s", rate);
+    if (done < total_) {
+      const double eta = static_cast<double>(total_ - done) / rate;
+      line += trace::strfmt(" | eta %.0fs", eta);
+    }
+  }
+  return line;
+}
+
+}  // namespace sensrep::runner

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace sensrep::runner {
+
+/// Live batch progress: completed/total, throughput, and an ETA, fed by an
+/// atomic counter so worker threads report completions without serializing
+/// on the render path.
+class ProgressMeter {
+ public:
+  /// Re-renders a carriage-return status line to `out` (typically
+  /// std::cerr) after every completion; pass nullptr for a silent counter.
+  explicit ProgressMeter(std::size_t total, std::ostream* out = nullptr);
+
+  /// Marks one job finished (success or failure). Thread-safe.
+  void job_done();
+
+  /// Renders the final state followed by a newline; call once, after the
+  /// batch has drained.
+  void finish();
+
+  [[nodiscard]] std::size_t completed() const noexcept {
+    return done_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// "k/N runs (p%) | r.rr runs/s | eta Ss". Thread-safe.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::size_t total_;
+  std::ostream* out_;
+  std::atomic<std::size_t> done_{0};
+  std::chrono::steady_clock::time_point start_;
+  std::mutex render_mu_;  // serializes the output stream, not the counter
+};
+
+}  // namespace sensrep::runner

@@ -1,0 +1,26 @@
+#include "runner/sink.hpp"
+
+#include <string>
+
+namespace sensrep::runner {
+
+void VectorSink::accept(const Job& job, const core::ExperimentResult& result) {
+  entries_.push_back({job.index, result});
+}
+
+CsvSink::CsvSink(std::ostream& out) : csv_(out) {
+  csv_.row({"algorithm", "robots", "seed", "duration_s", "failures", "repaired",
+            "delivery_ratio", "travel_m_per_failure", "report_hops", "request_hops",
+            "update_tx_per_failure", "repair_latency_s", "p95_latency_s",
+            "motion_energy_kj"});
+}
+
+void CsvSink::accept(const Job& job, const core::ExperimentResult& r) {
+  csv_.row(std::string(core::to_string(job.config.algorithm)), job.config.robots,
+           job.config.seed, job.config.sim_duration, r.failures, r.repaired,
+           r.delivery_ratio, r.avg_travel_per_repair, r.avg_report_hops,
+           r.avg_request_hops, r.location_update_tx_per_repair, r.avg_repair_latency,
+           r.p95_repair_latency, r.motion_energy_j / 1000.0);
+}
+
+}  // namespace sensrep::runner

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "metrics/csv.hpp"
+#include "runner/job.hpp"
+
+namespace sensrep::runner {
+
+/// Consumer of per-job results.
+///
+/// The executor guarantees accept() is invoked from one thread at a time,
+/// in ascending job-index order, regardless of worker count or completion
+/// order — so a sink needs neither locking nor reordering to produce
+/// deterministic output. Failed jobs are skipped (they surface as
+/// JobFailure records on the batch instead).
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void accept(const Job& job, const core::ExperimentResult& result) = 0;
+};
+
+/// Collects (index, result) pairs; entries arrive already index-sorted.
+class VectorSink final : public ResultSink {
+ public:
+  struct Entry {
+    std::size_t index;
+    core::ExperimentResult result;
+  };
+
+  void accept(const Job& job, const core::ExperimentResult& result) override;
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Streams the sweep CSV schema — the exact columns sensrep_sweep has
+/// always emitted — one row per completed job. Because rows are emitted in
+/// grid order, the file is byte-identical across --jobs=1 and --jobs=N.
+class CsvSink final : public ResultSink {
+ public:
+  /// Writes the header immediately; `out` must outlive the sink.
+  explicit CsvSink(std::ostream& out);
+
+  void accept(const Job& job, const core::ExperimentResult& result) override;
+
+ private:
+  metrics::CsvWriter csv_;
+};
+
+}  // namespace sensrep::runner

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sensrep::runner {
+
+/// Fixed-size pool of worker threads draining one FIFO task queue.
+///
+/// Deliberately minimal — no work stealing, no priorities, no futures. The
+/// executor layers retry, failure capture, and deterministic aggregation on
+/// top; the pool only promises that every submitted task runs exactly once
+/// on some worker thread.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (a request for 0 gets 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the remaining queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for some worker. Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t running_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sensrep::runner

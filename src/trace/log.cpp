@@ -19,6 +19,7 @@ std::string_view to_string(Level level) noexcept {
 void Logger::log(Level level, sim::SimTime now, std::string_view component,
                  std::string_view message) {
   if (!enabled(level)) return;
+  const std::lock_guard lock(write_mu_);
   (*out_) << strfmt("[%10.3fs] %-5s %.*s: %.*s\n", now,
                     std::string(to_string(level)).c_str(),
                     static_cast<int>(component.size()), component.data(),

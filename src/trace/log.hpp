@@ -1,6 +1,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -27,7 +28,9 @@ enum class Level : int {
 /// seeds. Disabled levels cost one branch (formatting is skipped by callers
 /// via enabled()).
 ///
-/// Not thread-safe; the simulator is single-threaded by design.
+/// log() is thread-safe: each simulation is single-threaded, but the runner
+/// executes many simulations concurrently and they all share global().
+/// Threshold changes are not synchronized — set the level before a batch.
 class Logger {
  public:
   /// Logs to `out` (typically std::clog); the stream must outlive the logger.
@@ -60,6 +63,7 @@ class Logger {
  private:
   std::ostream* out_;
   Level threshold_;
+  std::mutex write_mu_;  // keeps concurrent simulations' lines whole
 };
 
 }  // namespace sensrep::trace

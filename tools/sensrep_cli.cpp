@@ -7,6 +7,7 @@
 //   --seed=N            master seed (default 1)
 //   --duration=S        simulated seconds (default 64000, the paper's horizon)
 //   --replications=N    run N seeds and report mean +- 95% CI (default 1)
+//   --jobs=N            worker threads for --replications (default: all cores)
 //   --loss=P            per-reception Bernoulli loss probability (default 0)
 //   --partition=square|hexagon              fixed algorithm subarea shape
 //   --fringe=M          dynamic relay fringe in meters (default 20)
@@ -34,6 +35,7 @@
 
 #include "core/replication.hpp"
 #include "core/simulation.hpp"
+#include "runner/executor.hpp"
 #include "metrics/csv.hpp"
 #include "metrics/histogram.hpp"
 #include "tools/args.hpp"
@@ -119,6 +121,7 @@ int main(int argc, char** argv) {
     cfg.radio.model_collisions = args.has("collisions");
 
     const auto replications = args.get_u64("replications", 1);
+    const auto jobs = args.get_u64("jobs", 0);  // 0 = hardware concurrency
     const auto csv_path = args.get_string("csv", "");
     const auto trace_path = args.get_string("trace", "");
     const bool histogram = args.has("histogram");
@@ -127,7 +130,12 @@ int main(int argc, char** argv) {
     cfg.validate();
 
     if (replications > 1) {
-      const auto rep = core::run_replicated(cfg, replications);
+      // Seeds are independent runs, so multi-seed mode goes through the
+      // parallel runner (same seed schedule and aggregation as the serial
+      // core::run_replicated).
+      runner::ExecutorOptions options;
+      options.jobs = jobs;
+      const auto rep = runner::run_replicated(cfg, replications, options);
       std::cout << rep.summary();
       return 0;
     }

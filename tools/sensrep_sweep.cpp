@@ -4,18 +4,26 @@
 // a plotting pipeline (gnuplot/matplotlib) consumes, and emits a gnuplot
 // script for the three figures alongside.
 //
+// Runs are independent, so the grid executes on the runner subsystem: one
+// single-threaded simulation per worker thread, results aggregated in grid
+// order — the CSV is byte-identical for --jobs=1 and --jobs=N.
+//
 //   sensrep_sweep [--out=sweep.csv] [--seeds=N] [--duration=S] [--quick]
+//                 [--jobs=N] [--retries=N]
 //
 //   --out=PATH       CSV destination (default sweep.csv)
 //   --seeds=N        replications per cell (default 3)
-//   --duration=S     simulated seconds per run (default 64000; --quick=8000)
+//   --duration=S     simulated seconds per run (default 64000)
+//   --quick          shorthand for an 8000 s horizon; an explicit
+//                    --duration=S always wins over it
+//   --jobs=N         worker threads (default: hardware concurrency)
+//   --retries=N      extra attempts per failed run (default 0)
 //   --gnuplot=PATH   also write a gnuplot script plotting figs 2-4 from the CSV
 
 #include <fstream>
 #include <iostream>
 
-#include "core/simulation.hpp"
-#include "metrics/csv.hpp"
+#include "runner/executor.hpp"
 #include "tools/args.hpp"
 
 namespace {
@@ -55,49 +63,41 @@ int main(int argc, char** argv) {
     tools::Args args(argc, argv);
     const std::string out_path = args.get_string("out", "sweep.csv");
     const auto seeds = args.get_u64("seeds", 3);
-    double duration = args.get_double("duration", 64000.0);
-    if (args.has("quick")) duration = 8000.0;
+    // --quick is only a default: an explicit --duration=S beats it.
+    const bool quick = args.has("quick");
+    const double duration = args.get_double("duration", quick ? 8000.0 : 64000.0);
+    const auto jobs = args.get_u64("jobs", 0);  // 0 = hardware concurrency
+    const auto retries = args.get_u64("retries", 0);
     const std::string gnuplot_path = args.get_string("gnuplot", "");
     args.reject_unknown();
 
-    std::ofstream out(out_path);
-    metrics::CsvWriter csv(out);
-    csv.row({"algorithm", "robots", "seed", "duration_s", "failures", "repaired",
-             "delivery_ratio", "travel_m_per_failure", "report_hops", "request_hops",
-             "update_tx_per_failure", "repair_latency_s", "p95_latency_s",
-             "motion_energy_kj"});
+    runner::ParameterGrid grid;
+    grid.seeds = seeds;
+    grid.base.sim_duration = duration;
 
-    std::size_t runs = 0;
-    for (const auto algorithm :
-         {core::Algorithm::kCentralized, core::Algorithm::kFixedDistributed,
-          core::Algorithm::kDynamicDistributed}) {
-      for (const std::size_t robots : {4u, 9u, 16u}) {
-        for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-          core::SimulationConfig cfg;
-          cfg.algorithm = algorithm;
-          cfg.robots = robots;
-          cfg.seed = seed;
-          cfg.sim_duration = duration;
-          core::Simulation sim(cfg);
-          sim.run();
-          const auto r = sim.result();
-          csv.row(std::string(to_string(algorithm)), robots, seed, duration, r.failures,
-                  r.repaired, r.delivery_ratio, r.avg_travel_per_repair,
-                  r.avg_report_hops, r.avg_request_hops, r.location_update_tx_per_repair,
-                  r.avg_repair_latency, r.p95_repair_latency,
-                  r.motion_energy_j / 1000.0);
-          ++runs;
-          std::cerr << "\r" << runs << "/" << 9 * seeds << " runs" << std::flush;
-        }
-      }
+    std::ofstream out(out_path);
+    runner::CsvSink csv(out);
+    runner::ProgressMeter progress(grid.size(), &std::cerr);
+    runner::ExecutorOptions options;
+    options.jobs = jobs;
+    options.retries = retries;
+    options.progress = &progress;
+    runner::Executor executor(options);
+
+    const auto batch = executor.run(grid, &csv);
+    progress.finish();
+
+    std::cout << "wrote " << batch.completed() << " rows to " << out_path << " ("
+              << executor.worker_count() << " worker thread(s))\n";
+    for (const auto& f : batch.failures) {
+      std::cerr << "sensrep_sweep: [" << f.label << "] failed after " << f.attempts
+                << " attempt(s): " << f.error << "\n";
     }
-    std::cerr << "\n";
-    std::cout << "wrote " << runs << " rows to " << out_path << "\n";
     if (!gnuplot_path.empty()) {
       write_gnuplot(gnuplot_path, out_path);
       std::cout << "wrote " << gnuplot_path << "\n";
     }
-    return 0;
+    return batch.ok() ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "sensrep_sweep: " << e.what() << "\n";
     return 2;
