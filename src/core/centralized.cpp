@@ -68,7 +68,7 @@ void CentralizedAlgorithm::initialize() {
 
 std::optional<wsn::ReportTarget> CentralizedAlgorithm::report_target(
     const wsn::SensorNode& /*sensor*/) const {
-  return wsn::ReportTarget{config().manager_id(), manager_pos_};
+  return wsn::ReportTarget{current_manager_id(), manager_pos_};
 }
 
 void CentralizedAlgorithm::on_location_update(wsn::SensorNode& sensor, const Packet& pkt,
@@ -82,7 +82,7 @@ void CentralizedAlgorithm::on_location_update(wsn::SensorNode& sensor, const Pac
 void CentralizedAlgorithm::on_sensor_reset(wsn::SensorNode& sensor) {
   if (geometry::distance(sensor.position(), manager_pos_) <=
       config().field.sensor_tx_range) {
-    sensor.table().upsert(manager_->id(), manager_pos_);
+    sensor.table().upsert(current_manager_id(), manager_pos_);
   }
 }
 
@@ -90,10 +90,18 @@ void CentralizedAlgorithm::on_robot_location_update(robot::RobotNode& robot) {
   // One-hop broadcast so nearby sensors can deliver packets to the moving
   // robot...
   broadcast_location_update(robot);
+  // The acting manager's updates terminate at itself: it refreshes its own
+  // tracking entry (and lease) without a unicast leg.
+  if (is_acting_manager(robot)) {
+    robot_locations_[robot.id()] = robot.position();
+    manager_pos_ = robot.position();
+    refresh_lease(robot_index(robot.id()));
+    return;
+  }
   // ...and a geo-routed unicast so the manager can keep dispatching to it.
   Packet update;
   update.type = PacketType::kLocationUpdate;
-  update.dst = manager_->id();
+  update.dst = current_manager_id();
   update.dst_location = manager_pos_;
   update.payload =
       net::LocationUpdatePayload{robot.id(), robot.position(), robot.current_update_seq()};
@@ -101,13 +109,35 @@ void CentralizedAlgorithm::on_robot_location_update(robot::RobotNode& robot) {
 }
 
 void CentralizedAlgorithm::on_robot_task_complete(robot::RobotNode& robot) {
+  // Fault tolerance: report completion so the manager can close the
+  // in-flight entry (otherwise a later lease expiry would re-dispatch a
+  // repair that already happened).
+  if (fault_tolerance_active() && robot.last_completed() &&
+      robot.last_completed()->failure_id != 0) {
+    const auto& done = *robot.last_completed();
+    if (is_acting_manager(robot)) {
+      close_in_flight(net::TaskCompletePayload{done.slot, done.failure_id});
+    } else {
+      Packet fin;
+      fin.type = PacketType::kTaskComplete;
+      fin.dst = current_manager_id();
+      fin.dst_location = manager_pos_;
+      fin.payload = net::TaskCompletePayload{done.slot, done.failure_id};
+      robot.router().send(std::move(fin));
+    }
+  }
   // Under queue-aware dispatch the backlog value is load-bearing, so the
   // robot refreshes the manager immediately after unloading; the plain
   // paper algorithm relies on the movement-leg updates alone.
   if (!config().queue_aware_dispatch) return;
+  if (is_acting_manager(robot)) {
+    robot_backlog_[robot.id()] =
+        static_cast<std::uint32_t>(robot.queue().size() + (robot.busy() ? 1 : 0));
+    return;
+  }
   Packet update;
   update.type = PacketType::kLocationUpdate;
-  update.dst = manager_->id();
+  update.dst = current_manager_id();
   update.dst_location = manager_pos_;
   const auto backlog =
       static_cast<std::uint32_t>(robot.queue().size() + (robot.busy() ? 1 : 0));
@@ -120,11 +150,13 @@ void CentralizedAlgorithm::handle_manager_packet(const Packet& pkt) {
   switch (pkt.type) {
     case PacketType::kLocationAnnounce:
       robot_locations_[pkt.src] = std::get<net::LocationAnnouncePayload>(pkt.payload).location;
+      if (fault_tolerance_active()) refresh_lease(robot_index(pkt.src));
       break;
     case PacketType::kLocationUpdate: {
       const auto& body = std::get<net::LocationUpdatePayload>(pkt.payload);
       robot_locations_[body.robot] = body.robot_location;
       robot_backlog_[body.robot] = body.queue_len;
+      if (fault_tolerance_active()) refresh_lease(robot_index(body.robot));
       break;
     }
     case PacketType::kFailureReport: {
@@ -134,6 +166,10 @@ void CentralizedAlgorithm::handle_manager_packet(const Packet& pkt) {
       dispatch(std::get<net::FailureReportPayload>(pkt.payload));
       break;
     }
+    case PacketType::kTaskComplete:
+      close_in_flight(std::get<net::TaskCompletePayload>(pkt.payload));
+      if (fault_tolerance_active()) refresh_lease(robot_index(pkt.src));
+      break;
     default:
       break;
   }
@@ -149,6 +185,10 @@ void CentralizedAlgorithm::dispatch(const net::FailureReportPayload& failure) {
   NodeId best = kNoNode;
   double best_score = std::numeric_limits<double>::infinity();
   for (const auto& [robot, loc] : robot_locations_) {
+    // Robots whose lease expired are out of the candidate set until (never)
+    // they come back; a dead-but-unexpired robot can still be picked — its
+    // lease will run out and the task will be re-dispatched.
+    if (presumed_dead(robot_index(robot))) continue;
     double score = geometry::distance(loc, failure.failed_location);
     if (config().queue_aware_dispatch) {
       const auto it = robot_backlog_.find(robot);
@@ -165,6 +205,17 @@ void CentralizedAlgorithm::dispatch(const net::FailureReportPayload& failure) {
                                  failure.failed_node);
     return;
   }
+  if (fault_tolerance_active() && failure.failure_id != 0) {
+    in_flight_[failure.failure_id] =
+        InFlight{failure.failed_node, failure.failed_location, robot_index(best)};
+  }
+  // The acting manager dispatches to itself directly (no radio leg).
+  if (acting_manager_ && best == config().robot_id(*acting_manager_)) {
+    robot_backlog_[best] += 1;
+    dispatch_to(robot_at(*acting_manager_),
+                make_task(failure.failed_node, failure.failed_location, failure.failure_id));
+    return;
+  }
   Packet request;
   request.type = PacketType::kRepairRequest;
   request.dst = best;
@@ -175,11 +226,36 @@ void CentralizedAlgorithm::dispatch(const net::FailureReportPayload& failure) {
   // Optimistic backlog bump so back-to-back reports spread across robots
   // even before the next location update arrives.
   robot_backlog_[best] += 1;
+  if (acting_manager_) {
+    auto& am = robot_at(*acting_manager_);
+    am.refresh_neighbor_table();
+    am.router().send(std::move(request));
+    return;
+  }
   manager_->refresh_neighbor_table();
   manager_->router().send(std::move(request));
 }
 
 void CentralizedAlgorithm::on_robot_packet(robot::RobotNode& robot, const Packet& pkt) {
+  // After failover the promoted robot receives the manager-plane traffic
+  // (reports, updates, completions) at its own robot address.
+  if (is_acting_manager(robot)) {
+    switch (pkt.type) {
+      case PacketType::kLocationAnnounce:
+      case PacketType::kLocationUpdate:
+      case PacketType::kTaskComplete:
+        handle_manager_packet(pkt);  // bookkeeping is router-agnostic
+        return;
+      case PacketType::kFailureReport:
+        record_report_arrival(pkt);
+        robot.refresh_neighbor_table();
+        acknowledge_report(robot.router(), pkt);
+        dispatch(std::get<net::FailureReportPayload>(pkt.payload));
+        return;
+      default:
+        break;
+    }
+  }
   if (pkt.type != PacketType::kRepairRequest) return;
   const auto& body = std::get<net::RepairRequestPayload>(pkt.payload);
   if (body.failure_id != 0) {
@@ -187,6 +263,127 @@ void CentralizedAlgorithm::on_robot_packet(robot::RobotNode& robot, const Packet
     if (rec.request_hops == 0) rec.request_hops = pkt.hops;
   }
   dispatch_to(robot, make_task(body.failed_node, body.failed_location, body.failure_id));
+}
+
+void CentralizedAlgorithm::close_in_flight(const net::TaskCompletePayload& done) {
+  in_flight_.erase(done.failure_id);
+}
+
+void CentralizedAlgorithm::fail_manager() {
+  if (manager_ && !manager_->failed()) {
+    manager_->fail();
+    trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
+                                 "manager %u failed", manager_->id());
+  }
+}
+
+void CentralizedAlgorithm::supervise() {
+  const auto now = ctx().simulator->now();
+  const double window = config().robot_faults.lease_window();
+  // Manager heartbeat: a network-wide liveness flood every supervision
+  // sweep. The one-hop seed is a real kManagerHeartbeat broadcast (nearby
+  // sensors refresh their forwarding entry for the manager); the field-wide
+  // relays are accounted analytically, like the init flood. Only a live
+  // manager emits — the silence of a dead one is what lets the fleet's
+  // shared lease expire.
+  const auto emit_heartbeat = [&](NodeId src, geometry::Vec2 at) {
+    Packet hb;
+    hb.type = PacketType::kManagerHeartbeat;
+    hb.src = src;
+    hb.dst = net::kBroadcastId;
+    hb.payload = net::ManagerHeartbeatPayload{at, ++manager_hb_seq_};
+    ctx().medium->broadcast(src, hb);
+    ctx().medium->account(metrics::MessageCategory::kFaultTolerance,
+                          static_cast<std::uint64_t>(ctx().field->size()));
+    manager_lease_ = now;
+  };
+  if (!acting_manager_) {
+    if (!manager_->failed()) emit_heartbeat(manager_->id(), manager_pos_);
+  } else if (!robot_at(*acting_manager_).failed()) {
+    auto& am = robot_at(*acting_manager_);
+    manager_pos_ = am.position();
+    emit_heartbeat(am.id(), manager_pos_);
+    refresh_lease(*acting_manager_);
+  }
+  if (now - manager_lease_ > window) perform_failover();
+  CoordinationAlgorithm::supervise();
+}
+
+void CentralizedAlgorithm::perform_failover() {
+  // Election among the surviving robots: the live robot with the lowest id
+  // wins (classic bully outcome). The election exchange is accounted as one
+  // message per fleet member; convergence itself is modeled as immediate.
+  std::optional<std::size_t> winner;
+  for (std::size_t i = 0; i < robot_count(); ++i) {
+    if (!robot_at(i).failed()) {
+      winner = i;
+      break;
+    }
+  }
+  ctx().medium->account(metrics::MessageCategory::kFaultTolerance, robot_count());
+  if (!winner) {
+    trace::Logger::global().logf(trace::Level::kError, ctx().simulator->now(), "fault",
+                                 "manager lease expired but no live robot to promote");
+    return;
+  }
+  acting_manager_ = winner;
+  ++fault_stats_.failovers;
+  auto& am = robot_at(*winner);
+  manager_pos_ = am.position();
+  manager_lease_ = ctx().simulator->now();
+  trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
+                               "robot %u promoted to acting manager", am.id());
+  // Promotion flood: the new manager tells the whole network where to report
+  // (same analytic accounting as the init flood), and every surviving robot
+  // re-announces itself so the tracking table can be rebuilt. The old
+  // manager's in-flight table died with it — unrepaired failures come back
+  // via the guardians' periodic re-reports.
+  ctx().medium->account(metrics::MessageCategory::kFaultTolerance,
+                        1 + static_cast<std::uint64_t>(ctx().field->size()));
+  ctx().medium->account(metrics::MessageCategory::kFaultTolerance, robot_count());
+  in_flight_.clear();
+  robot_locations_.clear();
+  robot_backlog_.clear();
+  for (std::size_t i = 0; i < robot_count(); ++i) {
+    auto& r = robot_at(i);
+    if (r.failed()) continue;
+    robot_locations_[r.id()] = r.position();
+    robot_backlog_[r.id()] =
+        static_cast<std::uint32_t>(r.queue().size() + (r.busy() ? 1 : 0));
+    refresh_lease(i);  // fresh grace period under the new manager
+  }
+  // Sensors in radio range of the new manager can use it as a final hop.
+  auto& field = *ctx().field;
+  for (std::size_t s = 0; s < field.size(); ++s) {
+    auto& sensor = field.node(static_cast<NodeId>(s));
+    if (!sensor.alive()) continue;
+    if (geometry::distance(sensor.position(), manager_pos_) <=
+        config().field.sensor_tx_range) {
+      sensor.table().upsert(am.id(), manager_pos_);
+    }
+  }
+}
+
+void CentralizedAlgorithm::on_robot_presumed_dead(std::size_t index) {
+  // Re-dispatch every task that was in flight at the dead robot. Tasks whose
+  // slot has since been repaired (duplicate dispatch) are simply closed.
+  std::vector<std::pair<std::uint64_t, InFlight>> orphaned;
+  for (const auto& [fid, entry] : in_flight_) {
+    if (entry.robot == index) orphaned.emplace_back(fid, entry);
+  }
+  for (const auto& [fid, entry] : orphaned) {
+    in_flight_.erase(fid);
+    if (ctx().field->node(entry.slot).alive()) continue;
+    ++fault_stats_.redispatches;
+    trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
+                                 "re-dispatching repair of %u (was in flight at robot %u)",
+                                 entry.slot, robot_at(index).id());
+    net::FailureReportPayload failure;
+    failure.failed_node = entry.slot;
+    failure.failed_location = entry.location;
+    failure.failure_id = fid;
+    dispatch(failure);
+  }
 }
 
 }  // namespace sensrep::core

@@ -30,16 +30,52 @@ class CentralizedAlgorithm final : public CoordinationAlgorithm {
   void on_robot_packet(robot::RobotNode& robot, const net::Packet& pkt) override;
   void on_robot_task_complete(robot::RobotNode& robot) override;
 
+  // Fault tolerance -----------------------------------------------------------
+  void fail_manager() override;
+
   // Introspection (tests/examples) -------------------------------------------
   [[nodiscard]] ManagerNode& manager() { return *manager_; }
   [[nodiscard]] const std::unordered_map<net::NodeId, geometry::Vec2>& tracked_robots()
       const noexcept {
     return robot_locations_;
   }
+  /// Fleet index of the robot acting as manager after failover (empty while
+  /// the dedicated manager is believed alive).
+  [[nodiscard]] std::optional<std::size_t> acting_manager() const noexcept {
+    return acting_manager_;
+  }
+  [[nodiscard]] std::size_t in_flight_count() const noexcept { return in_flight_.size(); }
+
+ protected:
+  void supervise() override;
+  void on_robot_presumed_dead(std::size_t index) override;
+  /// Centralized leases are refreshed when an update *reaches* the manager
+  /// (receiver-side), not when the robot transmits it.
+  [[nodiscard]] bool lease_refresh_on_broadcast() const override { return false; }
 
  private:
+  /// One dispatched-but-unfinished repair (keyed by failure id). Closed by a
+  /// kTaskComplete from the maintainer; re-dispatched if the maintainer's
+  /// lease expires first.
+  struct InFlight {
+    net::NodeId slot = net::kNoNode;
+    geometry::Vec2 location;
+    std::size_t robot = 0;  // fleet index the task was handed to
+  };
+
   void handle_manager_packet(const net::Packet& pkt);
   void dispatch(const net::FailureReportPayload& failure);
+  void close_in_flight(const net::TaskCompletePayload& done);
+  void perform_failover();
+
+  /// Node id failure reports and task-completes are addressed to: the
+  /// dedicated manager, or the promoted robot after failover.
+  [[nodiscard]] net::NodeId current_manager_id() const noexcept {
+    return acting_manager_ ? config().robot_id(*acting_manager_) : config().manager_id();
+  }
+  [[nodiscard]] bool is_acting_manager(const robot::RobotNode& robot) const noexcept {
+    return acting_manager_ && config().robot_id(*acting_manager_) == robot.id();
+  }
 
   std::unique_ptr<ManagerNode> manager_;
   std::unordered_map<net::NodeId, geometry::Vec2> robot_locations_;
@@ -47,6 +83,12 @@ class CentralizedAlgorithm final : public CoordinationAlgorithm {
   // increments between updates (queue-aware dispatch, E9).
   std::unordered_map<net::NodeId, std::uint32_t> robot_backlog_;
   geometry::Vec2 manager_pos_;
+
+  // Fault-tolerance state (inert while the fault model is disabled).
+  std::unordered_map<std::uint64_t, InFlight> in_flight_;
+  std::optional<std::size_t> acting_manager_;
+  sim::SimTime manager_lease_ = 0.0;  // fleet's shared belief in the manager
+  std::uint32_t manager_hb_seq_ = 0;  // manager-heartbeat flood dedup
 };
 
 }  // namespace sensrep::core

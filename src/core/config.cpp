@@ -43,7 +43,22 @@ void SimulationConfig::validate() const {
   }
   if (dynamic_fringe < 0.0) throw std::invalid_argument("config: dynamic_fringe >= 0");
   if (field.sensor_tx_range <= 0.0) throw std::invalid_argument("config: sensor_tx_range > 0");
+  if (field.robot_stale_window < 0.0) {
+    throw std::invalid_argument("config: robot_stale_window >= 0");
+  }
+  if (field.failure_rereport_period < 0.0) {
+    throw std::invalid_argument("config: failure_rereport_period >= 0");
+  }
   field.lifetime.validate();
+  robot_faults.validate();
+  for (const auto& crash : robot_faults.crashes) {
+    if (crash.robot >= robots) {
+      throw std::invalid_argument("config: scheduled crash robot index out of range");
+    }
+  }
+  if (robot_faults.manager_crash_at && algorithm != Algorithm::kCentralized) {
+    throw std::invalid_argument("config: manager_crash_at requires the centralized algorithm");
+  }
 }
 
 }  // namespace sensrep::core

@@ -9,6 +9,7 @@
 #include "net/medium.hpp"
 #include "net/node_id.hpp"
 #include "robot/energy.hpp"
+#include "robot/fault.hpp"
 #include "wsn/sensor_field.hpp"
 
 namespace sensrep::core {
@@ -93,6 +94,11 @@ struct SimulationConfig {
   wsn::FieldConfig field;   // sensor TX range, beacon period, lifetimes
   net::RadioConfig radio;   // bitrate, jitter, loss
   robot::EnergyModel energy;  // Pioneer-3DX-calibrated power draw
+
+  /// Robot fault model (MTBF draws, scheduled crashes, manager crash) plus
+  /// the lease-based detection knobs. Disabled by default — see
+  /// robot::FaultConfig::enabled().
+  robot::FaultConfig robot_faults;
 
   // --- derived -------------------------------------------------------------
 

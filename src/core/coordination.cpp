@@ -1,6 +1,7 @@
 #include "core/coordination.hpp"
 
 #include "geometry/voronoi.hpp"
+#include "trace/log.hpp"
 
 #include "core/centralized.hpp"
 #include "core/dynamic_distributed.hpp"
@@ -70,6 +71,10 @@ void CoordinationAlgorithm::broadcast_location_update(robot::RobotNode& robot, b
                                            robot.next_update_seq(), backlog};
   if (init) pkt.category_override = metrics::MessageCategory::kInitialization;
   ctx_.medium->broadcast(robot.id(), pkt);
+  // Distributed algorithms: the flood itself is the liveness signal peers
+  // observe, so the broadcast refreshes the sender's lease. (A failed robot
+  // never reaches here — its heartbeat and movement events are cancelled.)
+  if (ft_active_ && lease_refresh_on_broadcast()) refresh_lease(robot_index(robot.id()));
   if (event_log_ && !init) {
     event_log_->record({ctx_.simulator->now(), trace::EventKind::kRobotMove, robot.id(),
                         std::nullopt, robot.position(), robot.odometer()});
@@ -92,6 +97,59 @@ void CoordinationAlgorithm::on_robot_idle(robot::RobotNode& robot) {
   // (arrival at home re-triggers the idle hook).
   if (geometry::distance(robot.position(), home) <= config().update_threshold) return;
   robot.drive_to(home);
+}
+
+void CoordinationAlgorithm::on_robot_failed(robot::RobotNode& /*robot*/,
+                                            std::size_t tasks_lost) {
+  ++fault_stats_.robot_failures;
+  fault_stats_.tasks_lost += tasks_lost;
+}
+
+void CoordinationAlgorithm::start_fault_tolerance() {
+  const auto& faults = config().robot_faults;
+  if (!faults.enabled() || ft_active_) return;
+  ft_active_ = true;
+  const auto now = ctx_.simulator->now();
+  lease_.assign(robot_count(), now);
+  presumed_dead_.assign(robot_count(), false);
+  for (std::size_t i = 0; i < robot_count(); ++i) {
+    robot_at(i).start_heartbeat(faults.heartbeat_period);
+  }
+  ctx_.simulator->every(faults.heartbeat_period, [this] { supervise(); });
+}
+
+void CoordinationAlgorithm::refresh_lease(std::size_t index) {
+  if (!ft_active_) return;
+  lease_[index] = ctx_.simulator->now();
+}
+
+robot::RobotNode* CoordinationAlgorithm::closest_live_robot(geometry::Vec2 pos) {
+  robot::RobotNode* best = nullptr;
+  double best_d = 0.0;
+  for (std::size_t i = 0; i < robot_count(); ++i) {
+    if (ft_active_ && presumed_dead_[i]) continue;
+    auto& r = robot_at(i);
+    const double d = geometry::distance(r.position(), pos);
+    if (!best || d < best_d) {
+      best = &r;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+void CoordinationAlgorithm::supervise() {
+  const double window = config().robot_faults.lease_window();
+  const auto now = ctx_.simulator->now();
+  for (std::size_t i = 0; i < robot_count(); ++i) {
+    if (presumed_dead_[i]) continue;
+    if (now - lease_[i] <= window) continue;
+    presumed_dead_[i] = true;
+    trace::Logger::global().logf(trace::Level::kInfo, now, "fault",
+                                 "robot %u presumed dead (lease expired %.0fs ago)",
+                                 robot_at(i).id(), now - lease_[i] - window);
+    on_robot_presumed_dead(i);
+  }
 }
 
 bool CoordinationAlgorithm::relay_adds_coverage(const wsn::SensorNode& sensor,

@@ -25,6 +25,17 @@ struct SystemContext {
   const SimulationConfig* config = nullptr;
 };
 
+/// Counters for the robot fault-tolerance subsystem (all zero when the fault
+/// model is disabled). `robot_failures`/`tasks_lost` are ground truth from
+/// the injector; the rest count what the recovery machinery actually did.
+struct FaultStats {
+  std::size_t robot_failures = 0;  // robots that died (injection ground truth)
+  std::size_t tasks_lost = 0;      // tasks dropped by dying robots
+  std::size_t redispatches = 0;    // in-flight tasks re-sent to another robot
+  std::size_t failovers = 0;       // manager failover promotions (centralized)
+  std::size_t adoptions = 0;       // orphaned subareas adopted (fixed)
+};
+
 /// Base of the three coordination algorithms (paper §3).
 ///
 /// An algorithm is simultaneously the SensorPolicy (sensor-side decisions)
@@ -53,6 +64,23 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   /// RobotPolicy: anticipatory repositioning (config().idle_reposition,
   /// extension E12) — an idle robot returns to its region's centroid.
   void on_robot_idle(robot::RobotNode& robot) override;
+
+  /// RobotPolicy: ground-truth bookkeeping when the injector kills a robot.
+  /// Recovery is NOT triggered here — the system only learns of the death
+  /// when the robot's lease expires.
+  void on_robot_failed(robot::RobotNode& robot, std::size_t tasks_lost) override;
+
+  /// Arms the fault-tolerance machinery (no-op unless the fault model is
+  /// enabled): starts every robot's liveness heartbeat, seeds the lease
+  /// table, and schedules the periodic lease supervision sweep. Called by
+  /// Simulation after initialize().
+  void start_fault_tolerance();
+
+  /// Kills the dedicated manager node (centralized only; default no-op).
+  /// Exercised by FaultConfig::manager_crash_at.
+  virtual void fail_manager() {}
+
+  [[nodiscard]] const FaultStats& fault_stats() const noexcept { return fault_stats_; }
 
  protected:
   [[nodiscard]] const SystemContext& ctx() const noexcept { return ctx_; }
@@ -99,11 +127,50 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   [[nodiscard]] bool relay_adds_coverage(const wsn::SensorNode& sensor,
                                          net::NodeId from) const;
 
+  // --- robot fault tolerance (lease-based liveness) -------------------------
+
+  /// True once start_fault_tolerance() armed the machinery.
+  [[nodiscard]] bool fault_tolerance_active() const noexcept { return ft_active_; }
+
+  /// Whether the supervision sweep has declared robot `index` dead. This is
+  /// the system's *belief*, driven purely by lease expiry — a freshly failed
+  /// robot is still presumed live until its lease runs out.
+  [[nodiscard]] bool presumed_dead(std::size_t index) const noexcept {
+    return ft_active_ && presumed_dead_[index];
+  }
+
+  /// Re-arms robot `index`'s lease (a location update / heartbeat arrived).
+  void refresh_lease(std::size_t index);
+
+  /// Closest presumed-live robot to `pos`, or nullptr when the whole fleet
+  /// is presumed dead. Uses leases, not ground truth: a dead-but-unexpired
+  /// robot can be picked — its lease will expire and trigger recovery again.
+  [[nodiscard]] robot::RobotNode* closest_live_robot(geometry::Vec2 pos);
+
+  /// Periodic lease sweep: expires silent robots and fires
+  /// on_robot_presumed_dead for each. Centralized overrides to check the
+  /// manager's own lease first (a dead manager starves every robot lease).
+  virtual void supervise();
+
+  /// Recovery hook: the system just gave up on robot `index` (lease expired).
+  /// Centralized re-dispatches its in-flight tasks; fixed re-assigns its
+  /// subarea; dynamic refloods a live robot's location. Default: nothing.
+  virtual void on_robot_presumed_dead(std::size_t /*index*/) {}
+
+  /// Whether a robot's own broadcast refreshes its lease (distributed: the
+  /// flood is what peers observe). Centralized returns false — its leases
+  /// are refreshed when the update *reaches the manager*.
+  [[nodiscard]] virtual bool lease_refresh_on_broadcast() const { return true; }
+
   double init_motion_ = 0.0;
   trace::EventLog* event_log_ = nullptr;
+  FaultStats fault_stats_;
 
  private:
   SystemContext ctx_;
+  bool ft_active_ = false;
+  std::vector<sim::SimTime> lease_;       // per robot index: last refresh time
+  std::vector<bool> presumed_dead_;       // per robot index: system belief
 };
 
 /// Factory for the algorithm selected in the config.

@@ -102,4 +102,20 @@ void DynamicDistributedAlgorithm::on_robot_packet(robot::RobotNode& robot,
   dispatch_to(robot, make_task(body.failed_node, body.failed_location, body.failure_id));
 }
 
+void DynamicDistributedAlgorithm::on_robot_presumed_dead(std::size_t index) {
+  auto* live = closest_live_robot(robot_at(index).position());
+  if (live == nullptr) {
+    trace::Logger::global().logf(trace::Level::kError, ctx().simulator->now(), "fault",
+                                 "robot %u presumed dead and no live robot remains",
+                                 robot_at(index).id());
+    return;
+  }
+  trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
+                               "reflooding location of robot %u toward dead robot %u's cell",
+                               live->id(), robot_at(index).id());
+  // A real flood seed: orphaned sensors (those whose myrobot aged out) relay
+  // unconditionally, so the update spreads across the dead robot's cell.
+  broadcast_location_update(*live);
+}
+
 }  // namespace sensrep::core

@@ -25,6 +25,13 @@ class DynamicDistributedAlgorithm final : public CoordinationAlgorithm {
   // RobotPolicy ---------------------------------------------------------------
   void on_robot_location_update(robot::RobotNode& robot) override;
   void on_robot_packet(robot::RobotNode& robot, const net::Packet& pkt) override;
+
+ protected:
+  /// Fault tolerance: sensors age the dead robot out of their knowledge on
+  /// their own (robot_stale_window); this hook refloods the nearest
+  /// surviving robot's location so the orphaned region re-learns a live
+  /// manager quickly.
+  void on_robot_presumed_dead(std::size_t index) override;
 };
 
 }  // namespace sensrep::core

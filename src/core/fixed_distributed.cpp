@@ -1,5 +1,9 @@
 #include "core/fixed_distributed.hpp"
 
+#include <algorithm>
+
+#include "trace/log.hpp"
+
 namespace sensrep::core {
 
 using geometry::Vec2;
@@ -19,6 +23,9 @@ void FixedDistributedAlgorithm::bind(const SystemContext& system_ctx) {
       partition_ = std::make_unique<geometry::HexPartition>(area, config().robots);
       break;
   }
+  // Identity ownership: robot i manages cell i until an adoption rewires it.
+  owner_.resize(config().robots);
+  for (std::size_t i = 0; i < owner_.size(); ++i) owner_[i] = i;
 }
 
 void FixedDistributedAlgorithm::initialize() {
@@ -37,13 +44,15 @@ void FixedDistributedAlgorithm::initialize() {
 std::optional<wsn::ReportTarget> FixedDistributedAlgorithm::report_target(
     const wsn::SensorNode& sensor) const {
   // Subarea membership is deployment-time configuration: every sensor knows
-  // the field geometry and its own coordinates, hence its subarea index.
+  // the field geometry and its own coordinates, hence its subarea index. The
+  // owner map is identity until a robot death reassigns cells (adoption).
   const std::size_t cell = subarea_of(sensor.position());
-  const NodeId robot = config().robot_id(cell);
-  // Believed robot location: last flooded update, else the subarea center
-  // (where the robot parked at initialization).
+  const std::size_t owner = owner_[cell];
+  const NodeId robot = config().robot_id(owner);
+  // Believed robot location: last flooded update, else the owner's home
+  // subarea center (where it parked at initialization).
   const auto* knowledge = sensor.find_robot(robot);
-  const Vec2 loc = knowledge ? knowledge->location : partition_->center(cell);
+  const Vec2 loc = knowledge ? knowledge->location : partition_->center(owner);
   return wsn::ReportTarget{robot, loc};
 }
 
@@ -52,12 +61,13 @@ void FixedDistributedAlgorithm::on_location_update(wsn::SensorNode& sensor,
   const auto& body = std::get<net::LocationUpdatePayload>(pkt.payload);
   const bool fresh = sensor.learn_robot(body.robot, body.robot_location, body.update_seq);
   const std::size_t my_cell = subarea_of(sensor.position());
-  const std::size_t robot_cell = robot_index(body.robot);
-  if (robot_cell == my_cell) sensor.set_myrobot(body.robot);
+  const bool owns = owner_[my_cell] == robot_index(body.robot);
+  if (owns) sensor.set_myrobot(body.robot);
 
-  // Relay rule (paper §3.2): all sensors of the robot's subarea relay each
-  // update exactly once, remembered by sequence number.
-  if (!fresh || robot_cell != my_cell) return;
+  // Relay rule (paper §3.2): all sensors of the subareas the robot owns
+  // relay each update exactly once, remembered by sequence number. (With
+  // identity ownership this is exactly the paper's "robot's own subarea".)
+  if (!fresh || !owns) return;
   if (sensor.already_relayed(body.robot, body.update_seq)) return;
   if (config().efficient_broadcast && !relay_adds_coverage(sensor, from)) return;
   sensor.mark_relayed(body.robot, body.update_seq);
@@ -75,6 +85,53 @@ void FixedDistributedAlgorithm::on_robot_packet(robot::RobotNode& robot,
   acknowledge_report(robot.router(), pkt);
   const auto& body = std::get<net::FailureReportPayload>(pkt.payload);
   dispatch_to(robot, make_task(body.failed_node, body.failed_location, body.failure_id));
+}
+
+void FixedDistributedAlgorithm::on_robot_presumed_dead(std::size_t index) {
+  // Election among the surviving robots (one message each, accounted): the
+  // live robot with the lowest id adopts every subarea the dead one owned.
+  ctx().medium->account(metrics::MessageCategory::kFaultTolerance, robot_count());
+  std::optional<std::size_t> adopter;
+  for (std::size_t i = 0; i < robot_count(); ++i) {
+    if (i == index || robot_at(i).failed() || presumed_dead(i)) continue;
+    adopter = i;
+    break;
+  }
+  if (!adopter) {
+    trace::Logger::global().logf(trace::Level::kError, ctx().simulator->now(), "fault",
+                                 "robot %u presumed dead but no live robot can adopt",
+                                 robot_at(index).id());
+    return;
+  }
+  std::vector<std::size_t> adopted;
+  for (std::size_t cell = 0; cell < owner_.size(); ++cell) {
+    if (owner_[cell] != index) continue;
+    owner_[cell] = *adopter;
+    adopted.push_back(cell);
+    ++fault_stats_.adoptions;
+  }
+  if (adopted.empty()) return;  // its cells were already adopted earlier
+  auto& am = robot_at(*adopter);
+  trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
+                               "robot %u adopts %zu subarea(s) of dead robot %u",
+                               am.id(), adopted.size(), robot_at(index).id());
+  // Ownership flood: a network-wide control broadcast (accounted analytically
+  // like the init floods — relay rules confine location updates to owned
+  // cells, so ownership changes must travel as their own flood).
+  ctx().medium->account(metrics::MessageCategory::kFaultTolerance,
+                        1 + static_cast<std::uint64_t>(ctx().field->size()));
+  // What the flood teaches the orphaned cells' sensors: who their robot is
+  // now and where it last was.
+  const auto seq = am.next_update_seq();
+  auto& field = *ctx().field;
+  for (std::size_t s = 0; s < field.size(); ++s) {
+    auto& sensor = field.node(static_cast<NodeId>(s));
+    if (!sensor.alive()) continue;
+    const std::size_t cell = subarea_of(sensor.position());
+    if (std::find(adopted.begin(), adopted.end(), cell) == adopted.end()) continue;
+    sensor.learn_robot(am.id(), am.position(), seq);
+    sensor.set_myrobot(am.id());
+  }
 }
 
 }  // namespace sensrep::core

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/coordination.hpp"
 #include "geometry/partition.hpp"
@@ -32,11 +33,19 @@ class FixedDistributedAlgorithm final : public CoordinationAlgorithm {
 
   [[nodiscard]] const geometry::Partition& partition() const { return *partition_; }
 
+  /// Current subarea ownership: cell index -> fleet index of the robot in
+  /// charge. Identity until a robot death triggers an adoption.
+  [[nodiscard]] const std::vector<std::size_t>& owners() const noexcept { return owner_; }
+
  protected:
   /// Idle robots return to their fixed subarea center (E12).
   [[nodiscard]] geometry::Vec2 idle_home(const robot::RobotNode& robot) const override {
     return partition_->center(robot_index(robot.id()));
   }
+
+  /// Fault tolerance: the lowest-id live robot adopts every subarea the dead
+  /// robot owned and floods the ownership update.
+  void on_robot_presumed_dead(std::size_t index) override;
 
  private:
   [[nodiscard]] std::size_t subarea_of(geometry::Vec2 p) const {
@@ -44,6 +53,7 @@ class FixedDistributedAlgorithm final : public CoordinationAlgorithm {
   }
 
   std::unique_ptr<geometry::Partition> partition_;
+  std::vector<std::size_t> owner_;  // cell -> fleet index (identity by default)
 };
 
 }  // namespace sensrep::core

@@ -33,9 +33,16 @@ void ManagerNode::refresh_neighbor_table() {
 }
 
 void ManagerNode::on_packet(const Packet& pkt, NodeId from) {
+  if (failed_) return;  // dead node (the medium already drops RX; belt & braces)
   if (pkt.dst == net::kBroadcastId) return;  // sensor-side flood traffic
   refresh_neighbor_table();
   router_->on_receive(pkt, from);
+}
+
+void ManagerNode::fail() {
+  if (failed_) return;
+  failed_ = true;
+  medium_->set_alive(id_, false);
 }
 
 }  // namespace sensrep::core

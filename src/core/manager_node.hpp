@@ -27,7 +27,13 @@ class ManagerNode {
 
   [[nodiscard]] net::NodeId id() const noexcept { return id_; }
   [[nodiscard]] geometry::Vec2 position() const noexcept { return pos_; }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
   [[nodiscard]] routing::GeoRouter& router() noexcept { return *router_; }
+
+  /// Kills the manager (fault injection): detaches it from the radio medium
+  /// and stops packet handling. Idempotent. The fleet only notices when the
+  /// manager's heartbeat lease expires.
+  void fail();
 
   /// Refreshes the manager's one-hop view (alive nodes within its TX range;
   /// oracle discovery, same abstraction as RobotNode — see DESIGN.md).
@@ -43,6 +49,7 @@ class ManagerNode {
   routing::NeighborTable table_;
   std::unique_ptr<routing::GeoRouter> router_;
   DeliverFn deliver_;
+  bool failed_ = false;
 };
 
 }  // namespace sensrep::core

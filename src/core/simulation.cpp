@@ -12,6 +12,18 @@ Simulation::Simulation(const SimulationConfig& config) : config_(config) {
   config_.validate();
   sim::Rng master(config_.seed);
 
+  // Robot fault tolerance: unless overridden, sensors age robot knowledge
+  // and guardians re-report unrepaired failures on the same window the lease
+  // machinery uses — sensor-side and manager-side beliefs expire together.
+  if (config_.robot_faults.enabled()) {
+    if (config_.field.robot_stale_window <= 0.0) {
+      config_.field.robot_stale_window = config_.robot_faults.lease_window();
+    }
+    if (config_.field.failure_rereport_period <= 0.0) {
+      config_.field.failure_rereport_period = config_.robot_faults.lease_window();
+    }
+  }
+
   medium_ = std::make_unique<net::Medium>(sim_, master.fork("medium"), config_.radio,
                                           counters_, config_.field.sensor_tx_range);
   algo_ = make_algorithm(config_);
@@ -49,6 +61,35 @@ Simulation::Simulation(const SimulationConfig& config) : config_(config) {
   field_->initialize();
   algo_->initialize();
   field_->start();
+
+  // Fault injection: schedule robot deaths (one spontaneous draw per robot
+  // plus any scheduled crashes) and the optional manager crash. Everything
+  // here — including the RNG fork — happens only when the fault model is
+  // enabled, so the default configuration replays byte-identical traces.
+  const auto& faults = config_.robot_faults;
+  if (faults.enabled()) {
+    algo_->start_fault_tolerance();
+    const auto kill_robot = [this](std::size_t index) {
+      auto& r = *robots_[index];
+      if (r.failed()) return;
+      const std::size_t lost = r.fail();
+      algo_->on_robot_failed(r, lost);
+    };
+    if (faults.spontaneous()) {
+      auto fault_rng = master.fork("robot-faults");
+      for (std::size_t i = 0; i < config_.robots; ++i) {
+        const double at = faults.draw(fault_rng);
+        if (at < config_.sim_duration) sim_.at(at, [kill_robot, i] { kill_robot(i); });
+      }
+    }
+    for (const auto& crash : faults.crashes) {
+      const std::size_t i = crash.robot;
+      sim_.at(crash.at, [kill_robot, i] { kill_robot(i); });
+    }
+    if (faults.manager_crash_at) {
+      sim_.at(*faults.manager_crash_at, [this] { algo_->fail_manager(); });
+    }
+  }
 }
 
 Simulation::~Simulation() = default;
@@ -119,8 +160,16 @@ ExperimentResult Simulation::result() const {
     r.total_robot_distance += robot->odometer();
     r.motion_energy_j += config_.energy.motion_energy_j(robot->odometer());
     r.mission_energy_j += config_.energy.mission_energy_j(robot->odometer(), sim_.now());
+    r.orphaned_tasks += robot->orphaned_tasks();
   }
   r.init_motion = algo_->init_motion();
+
+  const auto& faults = algo_->fault_stats();
+  r.robot_failures = faults.robot_failures;
+  r.tasks_lost = faults.tasks_lost;
+  r.redispatches = faults.redispatches;
+  r.failover_events = faults.failovers;
+  r.adoptions = faults.adoptions;
   return r;
 }
 
@@ -146,6 +195,15 @@ std::string ExperimentResult::summary() const {
                        total_robot_distance, init_motion, delivery_ratio);
   out << trace::strfmt("  energy motion=%.1fkJ mission=%.1fkJ\n",
                        motion_energy_j / 1000.0, mission_energy_j / 1000.0);
+  // Printed only when something fault-related actually happened, so
+  // fault-free runs keep the historical summary format.
+  if (robot_failures > 0 || tasks_lost > 0 || orphaned_tasks > 0 || redispatches > 0 ||
+      failover_events > 0 || adoptions > 0) {
+    out << trace::strfmt(
+        "  faults robots=%zu lost=%zu orphaned=%zu redispatch=%zu failover=%zu adopt=%zu\n",
+        robot_failures, tasks_lost, orphaned_tasks, redispatches, failover_events,
+        adoptions);
+  }
   return out.str();
 }
 

@@ -53,6 +53,14 @@ struct ExperimentResult {
   double motion_energy_j = 0.0;   // marginal energy of all driving
   double mission_energy_j = 0.0;  // full-mission draw incl. idle floor
 
+  // Robot fault tolerance (all zero with the default, fault-free config).
+  std::size_t robot_failures = 0;   // robots that died (injection ground truth)
+  std::size_t tasks_lost = 0;       // tasks dropped by dying robots
+  std::size_t orphaned_tasks = 0;   // tasks dropped for want of spares/depot
+  std::size_t redispatches = 0;     // in-flight tasks re-sent after lease expiry
+  std::size_t failover_events = 0;  // manager failovers (centralized)
+  std::size_t adoptions = 0;        // subareas adopted from dead robots (fixed)
+
   // Transmission counters snapshot, indexed by MessageCategory.
   std::array<std::uint64_t, static_cast<std::size_t>(metrics::MessageCategory::kCount)>
       transmissions{};

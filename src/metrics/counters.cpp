@@ -12,6 +12,7 @@ std::string_view to_string(MessageCategory c) noexcept {
     case MessageCategory::kLocationUpdate: return "location_update";
     case MessageCategory::kReplacement: return "replacement";
     case MessageCategory::kData: return "data";
+    case MessageCategory::kFaultTolerance: return "fault_tolerance";
     case MessageCategory::kOther: return "other";
     case MessageCategory::kCount: break;
   }

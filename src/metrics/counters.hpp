@@ -19,6 +19,7 @@ enum class MessageCategory : std::uint8_t {
   kLocationUpdate,    // robot location updates (unicast hops + flood relays)
   kReplacement,       // new-node announcement and neighbor repair traffic
   kData,              // application sensing reports (data-collection workload)
+  kFaultTolerance,    // robot liveness: manager heartbeats, task-complete, failover
   kOther,
   kCount,
 };

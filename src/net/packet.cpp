@@ -13,6 +13,8 @@ std::string_view to_string(PacketType t) noexcept {
     case PacketType::kReplacementAnnounce: return "replacement_announce";
     case PacketType::kData: return "data";
     case PacketType::kReportAck: return "report_ack";
+    case PacketType::kTaskComplete: return "task_complete";
+    case PacketType::kManagerHeartbeat: return "manager_heartbeat";
   }
   return "?";
 }
@@ -29,6 +31,8 @@ metrics::MessageCategory category_of(PacketType t) noexcept {
     case PacketType::kReplacementAnnounce: return MessageCategory::kReplacement;
     case PacketType::kData: return MessageCategory::kData;
     case PacketType::kReportAck: return MessageCategory::kFailureReport;
+    case PacketType::kTaskComplete: return MessageCategory::kFaultTolerance;
+    case PacketType::kManagerHeartbeat: return MessageCategory::kFaultTolerance;
   }
   return MessageCategory::kOther;
 }
@@ -47,6 +51,8 @@ std::size_t Packet::size_bytes() const noexcept {
     case PacketType::kReplacementAnnounce: return kHeader + 20;
     case PacketType::kData: return kHeader + 48;  // sensing sample
     case PacketType::kReportAck: return kHeader + 8;
+    case PacketType::kTaskComplete: return kHeader + 16;
+    case PacketType::kManagerHeartbeat: return kHeader + 20;
   }
   return kHeader;
 }

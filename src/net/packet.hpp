@@ -22,6 +22,8 @@ enum class PacketType : std::uint8_t {
   kReplacementAnnounce,  // freshly unloaded node announces itself (one-hop)
   kData,                 // application sensing report, geo-routed to a sink
   kReportAck,            // manager -> reporting guardian (reliable reports)
+  kTaskComplete,         // maintainer -> manager: repair done, close in-flight entry
+  kManagerHeartbeat,     // manager liveness flood (robot fault tolerance)
 };
 
 [[nodiscard]] std::string_view to_string(PacketType t) noexcept;
@@ -77,10 +79,21 @@ struct DataPayload {
   std::uint32_t sample_seq = 0;
 };
 
+struct TaskCompletePayload {
+  NodeId slot = kNoNode;         // the repaired sensor slot
+  std::uint64_t failure_id = 0;  // closes the manager's in-flight entry
+};
+
+struct ManagerHeartbeatPayload {
+  geometry::Vec2 location;       // current manager location (failover may move it)
+  std::uint32_t heartbeat_seq = 0;  // flood dedup
+};
+
 using Payload =
     std::variant<BeaconPayload, LocationAnnouncePayload, GuardianConfirmPayload,
                  FailureReportPayload, RepairRequestPayload, LocationUpdatePayload,
-                 ReplacementAnnouncePayload, DataPayload, ReportAckPayload>;
+                 ReplacementAnnouncePayload, DataPayload, ReportAckPayload,
+                 TaskCompletePayload, ManagerHeartbeatPayload>;
 
 // --- Geographic routing header ---------------------------------------------
 

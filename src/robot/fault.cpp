@@ -1,0 +1,60 @@
+#include "robot/fault.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sensrep::robot {
+
+std::string_view to_string(FaultDistribution d) noexcept {
+  switch (d) {
+    case FaultDistribution::kExponential: return "exponential";
+    case FaultDistribution::kWeibull: return "weibull";
+  }
+  return "?";
+}
+
+bool FaultConfig::spontaneous() const noexcept { return std::isfinite(mtbf); }
+
+bool FaultConfig::enabled() const noexcept {
+  return spontaneous() || !crashes.empty() || manager_crash_at.has_value();
+}
+
+void FaultConfig::validate() const {
+  if (!(mtbf > 0.0)) {  // rejects NaN, zero, and negatives; +inf passes
+    throw std::invalid_argument("FaultConfig: mtbf must be positive (inf = disabled)");
+  }
+  if (distribution == FaultDistribution::kWeibull && weibull_shape <= 0.0) {
+    throw std::invalid_argument("FaultConfig: weibull_shape must be positive");
+  }
+  for (const auto& c : crashes) {
+    if (c.at < 0.0) throw std::invalid_argument("FaultConfig: crash time must be >= 0");
+  }
+  if (manager_crash_at && *manager_crash_at < 0.0) {
+    throw std::invalid_argument("FaultConfig: manager_crash_at must be >= 0");
+  }
+  if (enabled()) {
+    if (heartbeat_period <= 0.0) {
+      throw std::invalid_argument("FaultConfig: heartbeat_period must be positive");
+    }
+    if (lease_multiplier < 1.0) {
+      throw std::invalid_argument("FaultConfig: lease_multiplier must be >= 1");
+    }
+  }
+}
+
+double FaultConfig::draw(sim::Rng& rng) const {
+  switch (distribution) {
+    case FaultDistribution::kExponential:
+      return rng.exponential(mtbf);
+    case FaultDistribution::kWeibull: {
+      // Scale chosen so E[X] = lambda * Gamma(1 + 1/k) == mtbf.
+      const double k = weibull_shape;
+      const double lambda = mtbf / std::tgamma(1.0 + 1.0 / k);
+      const double u = rng.uniform01();
+      return lambda * std::pow(-std::log(1.0 - u), 1.0 / k);
+    }
+  }
+  return mtbf;
+}
+
+}  // namespace sensrep::robot

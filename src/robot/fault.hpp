@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace sensrep::robot {
+
+/// Maintainer-robot time-to-failure distributions.
+///
+/// The paper assumes robots never fail; the fault-tolerance subsystem drops
+/// that assumption. Exponential MTBF models independent electronics faults
+/// (memoryless, the usual reliability baseline); Weibull with shape > 1
+/// models mechanical wear-out, where a fleet deployed together fails in a
+/// burst — the stress case for recovery.
+enum class FaultDistribution {
+  kExponential,
+  kWeibull,
+};
+
+[[nodiscard]] std::string_view to_string(FaultDistribution d) noexcept;
+
+/// One deterministic crash for tests and benches: robot `robot` (dense fleet
+/// index) dies at absolute simulation time `at`.
+struct ScheduledCrash {
+  std::size_t robot = 0;
+  sim::SimTime at = 0.0;
+};
+
+/// Robot fault model plus the detection-side knobs (heartbeats and leases).
+///
+/// Strictly opt-in: with the default configuration (`mtbf = ∞`, no scheduled
+/// crashes) enabled() is false and the simulation schedules no extra events,
+/// draws no extra randomness, and sends no extra messages — existing golden
+/// traces are byte-identical.
+struct FaultConfig {
+  FaultDistribution distribution = FaultDistribution::kExponential;
+
+  /// Mean time between failures per robot, seconds. Infinity (the default)
+  /// disables spontaneous robot failures.
+  double mtbf = std::numeric_limits<double>::infinity();
+  double weibull_shape = 3.0;  // only for kWeibull
+
+  /// Deterministic crash times (fault injection for tests/benches); applied
+  /// in addition to any spontaneous draws.
+  std::vector<ScheduledCrash> crashes;
+
+  /// Centralized only: kills the dedicated manager at this time, exercising
+  /// the lowest-id-robot failover path. Ignored by the distributed
+  /// algorithms, which have no manager node.
+  std::optional<sim::SimTime> manager_crash_at;
+
+  /// Liveness heartbeat period, seconds. While the fault model is enabled
+  /// every robot re-announces its location on this period even when parked
+  /// (a parked robot emits no movement-leg updates, so without heartbeats a
+  /// live idle robot would be indistinguishable from a dead one). The
+  /// centralized manager floods its own heartbeat on the same period.
+  double heartbeat_period = 60.0;
+
+  /// A lease expires after `lease_multiplier * heartbeat_period` seconds
+  /// without a refreshing update — the configurable multiple of the expected
+  /// update interval. >= 2 tolerates one lost/late heartbeat.
+  double lease_multiplier = 3.0;
+
+  [[nodiscard]] bool spontaneous() const noexcept;
+
+  /// True when any fault source is configured; everything the subsystem adds
+  /// (heartbeats, leases, supervision, re-reports) is gated on this.
+  [[nodiscard]] bool enabled() const noexcept;
+
+  /// Seconds of silence after which a robot (or the manager) is presumed dead.
+  [[nodiscard]] double lease_window() const noexcept {
+    return lease_multiplier * heartbeat_period;
+  }
+
+  /// Draws one time-to-failure. Requires spontaneous().
+  [[nodiscard]] double draw(sim::Rng& rng) const;
+
+  /// Throws std::invalid_argument on out-of-range parameters.
+  void validate() const;
+};
+
+}  // namespace sensrep::robot

@@ -49,6 +49,7 @@ void RobotNode::refresh_neighbor_table() {
 }
 
 void RobotNode::on_packet(const Packet& pkt, NodeId from) {
+  if (failed_) return;  // dead radio (the medium already drops RX; belt & braces)
   // Floods and one-hop announces (broadcast dst) are sensor-side traffic;
   // only geo-routed unicasts concern the robot's router.
   if (pkt.dst == net::kBroadcastId) return;
@@ -56,7 +57,37 @@ void RobotNode::on_packet(const Packet& pkt, NodeId from) {
   router_->on_receive(pkt, from);
 }
 
+void RobotNode::start_heartbeat(double period) {
+  if (heartbeat_event_.valid() || failed_) return;
+  heartbeat_event_ = sim_->every(period, [this] {
+    policy_->on_robot_location_update(*this);
+  });
+}
+
+std::size_t RobotNode::fail() {
+  if (failed_) return 0;
+  failed_ = true;
+  std::size_t lost = current_ && !init_drive_ ? 1 : 0;
+  while (queue_.pop()) ++lost;
+  current_.reset();
+  reloading_ = false;
+  init_drive_ = false;
+  if (move_event_.valid()) {
+    sim_->cancel(move_event_);
+    move_event_ = {};
+  }
+  if (heartbeat_event_.valid()) {
+    sim_->cancel(heartbeat_event_);
+    heartbeat_event_ = {};
+  }
+  medium_->set_alive(id_, false);
+  trace::Logger::global().logf(trace::Level::kInfo, sim_->now(), "robot",
+                               "robot %u failed; %zu queued task(s) lost", id_, lost);
+  return lost;
+}
+
 void RobotNode::enqueue(const RepairTask& task) {
+  if (failed_) return;  // dead robots accept no work
   if ((current_ && current_->slot == task.slot) || queue_.contains_slot(task.slot)) {
     return;  // already being handled
   }
@@ -76,6 +107,7 @@ void RobotNode::teleport(Vec2 pos) {
 }
 
 void RobotNode::drive_to(Vec2 pos) {
+  if (failed_) return;
   if (busy()) throw std::logic_error("RobotNode::drive_to: robot is busy");
   current_ = RepairTask{net::kNoNode, pos, 0, sim_->now()};
   init_drive_ = true;
@@ -99,6 +131,7 @@ void RobotNode::start_next_task() {
     return;
   }
   if (spares_ == 0) {
+    ++orphaned_tasks_;  // surfaced as the orphaned_tasks result metric
     trace::Logger::global().logf(trace::Level::kWarn, sim_->now(), "robot",
                                  "robot %u has no spares and no depot; dropping task for %u",
                                  id_, current_->slot);
@@ -168,6 +201,7 @@ void RobotNode::arrive() {
   field_->replace_slot(task.slot, id_);
   ++repairs_done_;
   current_.reset();
+  last_completed_ = task;
   policy_->on_robot_task_complete(*this);
   start_next_task();
 }

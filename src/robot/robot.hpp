@@ -43,6 +43,11 @@ class RobotPolicy {
   /// The robot's queue drained (it is now idle). Policies may reposition it
   /// (drive_to) — the anticipatory-repositioning extension. Default: park.
   virtual void on_robot_idle(RobotNode& /*robot*/) {}
+
+  /// The robot just died (fault injection): it has already stopped moving and
+  /// dropped its queue. Ground-truth hook for bookkeeping only — recovery
+  /// must wait for lease expiry, which is how the system *detects* the death.
+  virtual void on_robot_failed(RobotNode& /*robot*/, std::size_t /*tasks_lost*/) {}
 };
 
 /// A mobile maintainer: picks, carries, and unloads sensor units
@@ -77,10 +82,22 @@ class RobotNode {
   [[nodiscard]] net::NodeId id() const noexcept { return id_; }
   [[nodiscard]] geometry::Vec2 position() const noexcept { return pos_; }
   [[nodiscard]] bool busy() const noexcept { return current_.has_value(); }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
   [[nodiscard]] const TaskQueue& queue() const noexcept { return queue_; }
   [[nodiscard]] double odometer() const noexcept { return odometer_; }
   [[nodiscard]] std::size_t repairs_done() const noexcept { return repairs_done_; }
   [[nodiscard]] std::size_t spares_left() const noexcept { return spares_; }
+
+  /// Tasks this robot dropped because it had no spare and no depot (the
+  /// formerly-silent drop in start_next_task; surfaced as `orphaned_tasks`).
+  [[nodiscard]] std::size_t orphaned_tasks() const noexcept { return orphaned_tasks_; }
+
+  /// Most recently completed repair (nullptr before the first). Set just
+  /// before the on_robot_task_complete hook, so policies can learn which
+  /// task finished (kTaskComplete needs the failure id).
+  [[nodiscard]] const RepairTask* last_completed() const noexcept {
+    return last_completed_ ? &*last_completed_ : nullptr;
+  }
   [[nodiscard]] routing::GeoRouter& router() noexcept { return *router_; }
   [[nodiscard]] routing::NeighborTable& table() noexcept { return table_; }
 
@@ -113,6 +130,18 @@ class RobotNode {
   /// Medium receive entry.
   void on_packet(const net::Packet& pkt, net::NodeId from);
 
+  /// Starts the periodic liveness heartbeat (robot fault tolerance): every
+  /// `period` seconds the policy's on_robot_location_update fires as if the
+  /// robot had crossed a movement threshold, so a parked robot keeps
+  /// refreshing its lease. Stops permanently when the robot fails.
+  void start_heartbeat(double period);
+
+  /// Kills the robot (fault injection): cancels movement and heartbeats,
+  /// detaches from the radio medium, and drops the current task plus the
+  /// whole queue. Returns the number of tasks lost (served FCFS no more).
+  /// Idempotent; a failed robot ignores enqueue/drive_to/packets.
+  std::size_t fail();
+
  private:
   void start_next_task();
   void step_movement();
@@ -132,6 +161,7 @@ class RobotNode {
 
   TaskQueue queue_;
   std::optional<RepairTask> current_;
+  std::optional<RepairTask> last_completed_;
   geometry::Vec2 target_;
   bool reloading_ = false;   // current drive is a depot run
   bool init_drive_ = false;  // current drive is an init reposition
@@ -139,8 +169,11 @@ class RobotNode {
   double odometer_ = 0.0;
   std::size_t spares_;
   std::size_t repairs_done_ = 0;
+  std::size_t orphaned_tasks_ = 0;
   std::uint32_t update_seq_ = 0;
+  bool failed_ = false;
   sim::EventId move_event_{};
+  sim::EventId heartbeat_event_{};
 };
 
 }  // namespace sensrep::robot

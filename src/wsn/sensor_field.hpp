@@ -46,6 +46,20 @@ struct FieldConfig {
   int report_retries = 3;
   double report_retry_timeout = 5.0;
 
+  /// Robot fault tolerance: seconds after which a sensor drops a robot it
+  /// has not heard from (stale `myrobot` aging). 0 disables aging (the
+  /// paper's robots never fail, so knowledge never expires). Simulation
+  /// wires this to the robot-fault lease window automatically when the
+  /// fault model is enabled.
+  double robot_stale_window = 0.0;
+
+  /// Robot fault tolerance: a guardian re-reports a failure it already
+  /// reported every this-many seconds until the slot is actually repaired
+  /// (0 disables). This is what re-routes repairs around dead robots: the
+  /// re-report resolves the *current* manager/owner/closest robot. Wired to
+  /// the lease window alongside robot_stale_window.
+  double failure_rereport_period = 0.0;
+
   /// Extension beyond the paper: every sensor watches *all* of its static
   /// neighbors, not just its confirmed guardees. The paper's guardian-guardee
   /// scheme assumes a guardian and its guardee rarely die together — true

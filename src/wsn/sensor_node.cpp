@@ -53,7 +53,7 @@ bool SensorNode::learn_robot(NodeId robot, Vec2 loc, std::uint32_t seq) {
   auto it = known_robots_.find(robot);
   const bool fresh = it == known_robots_.end() || seq > it->second.seq;
   if (fresh) {
-    known_robots_[robot] = RobotKnowledge{loc, seq};
+    known_robots_[robot] = RobotKnowledge{loc, seq, field_->simulator().now()};
     // Keep the routing table's robot entry in sync: the robot is a usable
     // next hop only while inside this sensor's own transmission range.
     if (geometry::distance(pos_, loc) <= field_->config().sensor_tx_range) {
@@ -114,6 +114,7 @@ void SensorNode::fail() {
     field_->simulator().cancel(pending.retry_timer);
   }
   pending_reports_.clear();
+  reported_pending_.clear();
   table_.clear();
 }
 
@@ -212,6 +213,11 @@ void SensorNode::tick() {
     report_guardee_failure(e);
   }
 
+  // Robot fault tolerance: age out robots gone silent and re-send reports
+  // for failures still unrepaired (both no-ops unless configured).
+  if (field_->config().robot_stale_window > 0.0) age_robot_knowledge();
+  if (field_->config().failure_rereport_period > 0.0) rereport_stale_failures();
+
   // Neighborhood watch (extension; see FieldConfig::neighborhood_watch):
   // report any silent static neighbor, once per silence episode. The
   // guardee path above already reported its subset this tick; the
@@ -230,8 +236,51 @@ void SensorNode::tick() {
   }
 }
 
+void SensorNode::age_robot_knowledge() {
+  const double window = field_->config().robot_stale_window;
+  const auto now = field_->simulator().now();
+  bool dropped_myrobot = false;
+  for (auto it = known_robots_.begin(); it != known_robots_.end();) {
+    if (it->second.heard_at + window < now) {
+      if (it->first == myrobot_) {
+        myrobot_ = kNoNode;
+        dropped_myrobot = true;
+      }
+      table_.remove(it->first);
+      it = known_robots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Re-pick among the robots still believed alive (the dynamic algorithm's
+  // "re-report to the next-closest robot" behavior; harmless elsewhere).
+  if (dropped_myrobot) {
+    if (const auto closest = closest_known_robot()) myrobot_ = *closest;
+  }
+}
+
+void SensorNode::rereport_stale_failures() {
+  const double period = field_->config().failure_rereport_period;
+  const auto now = field_->simulator().now();
+  std::vector<NodeId> due;
+  for (auto it = reported_pending_.begin(); it != reported_pending_.end();) {
+    if (!field_->open_failure(it->first)) {
+      it = reported_pending_.erase(it);  // repaired; done nagging
+    } else {
+      if (it->second + period <= now) due.push_back(it->first);
+      ++it;
+    }
+  }
+  // The re-report resolves report_target() afresh, so it follows manager
+  // failover, subarea adoption, and myrobot re-picks automatically.
+  for (const NodeId slot : due) report_guardee_failure(slot);
+}
+
 void SensorNode::report_guardee_failure(NodeId failed) {
   field_->record_detection(failed);
+  if (field_->config().failure_rereport_period > 0.0) {
+    reported_pending_[failed] = field_->simulator().now();
+  }
   const auto target = field_->policy().report_target(*this);
   if (!target || target->manager == kNoNode) {
     field_->note_unreported(failed);
@@ -332,10 +381,16 @@ void SensorNode::on_packet(const Packet& pkt, NodeId from) {
         router_->on_receive(pkt, from);
       }
       break;
+    case PacketType::kManagerHeartbeat:
+      // Liveness flood seed from the (acting) manager: refresh its entry so
+      // it stays usable as a forwarding hop.
+      table_.upsert(pkt.src, std::get<net::ManagerHeartbeatPayload>(pkt.payload).location);
+      break;
     case PacketType::kFailureReport:
     case PacketType::kRepairRequest:
     case PacketType::kData:
     case PacketType::kReportAck:
+    case PacketType::kTaskComplete:
       router_->on_receive(pkt, from);
       break;
   }

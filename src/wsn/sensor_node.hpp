@@ -22,6 +22,7 @@ class SensorField;
 struct RobotKnowledge {
   geometry::Vec2 location;
   std::uint32_t seq = 0;
+  sim::SimTime heard_at = 0.0;  // when fresh knowledge last arrived (aging)
 };
 
 /// One sensor slot: a deployed position that is occupied by a (possibly
@@ -115,6 +116,12 @@ class SensorNode {
   friend class SensorField;
 
   void report_guardee_failure(net::NodeId failed);
+  /// Robot fault tolerance (FieldConfig::robot_stale_window): drops robots
+  /// not heard from within the window and re-picks myrobot if it was one.
+  void age_robot_knowledge();
+  /// Robot fault tolerance (FieldConfig::failure_rereport_period): re-sends
+  /// reports for failures that are still unrepaired.
+  void rereport_stale_failures();
   /// reliable_reports: schedules a retransmission unless acked first.
   void arm_report_retry(net::NodeId failed);
   /// reliable_reports: a kReportAck for `failed` reached this node.
@@ -152,6 +159,9 @@ class SensorNode {
     int attempts = 1;
   };
   std::unordered_map<net::NodeId, PendingReport> pending_reports_;
+  // failure_rereport_period mode: failures this node reported that are not
+  // yet repaired, keyed by slot -> time of the last report sent.
+  std::unordered_map<net::NodeId, sim::SimTime> reported_pending_;
 
   sim::EventId tick_timer_{};
 };

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "tools/args.hpp"
 
 namespace sensrep::tools {
@@ -60,6 +63,31 @@ TEST(ArgsTest, BadNumbersThrow) {
   auto args = make({"--robots=many", "--loss=often"});
   EXPECT_THROW((void)args.get_u64("robots", 0), std::invalid_argument);
   EXPECT_THROW((void)args.get_double("loss", 0.0), std::invalid_argument);
+}
+
+TEST(ArgsTest, RangeCheckedDoublesAcceptInBoundsValues) {
+  auto args = make({"--loss=0.25", "--heartbeat=60"});
+  EXPECT_DOUBLE_EQ(args.get_double_in("loss", 0.0, 0.0, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(args.get_double_in("heartbeat", 60.0, 1.0, 1e9), 60.0);
+  // Fallback used when absent — and the fallback itself is range-checked.
+  EXPECT_DOUBLE_EQ(args.get_double_in("lease-multiplier", 3.0, 1.0, 100.0), 3.0);
+}
+
+TEST(ArgsTest, RangeCheckedDoublesRejectOutOfBounds) {
+  auto args = make({"--loss=1.5", "--heartbeat=0"});
+  EXPECT_THROW((void)args.get_double_in("loss", 0.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double_in("heartbeat", 60.0, 1.0, 1e9),
+               std::invalid_argument);
+}
+
+TEST(ArgsTest, RangeCheckedDoublesHandleInfinityAndNan) {
+  const double inf = std::numeric_limits<double>::infinity();
+  auto args = make({"--robot-mtbf=inf", "--bad=nan"});
+  // "inf" parses and is in range when the upper bound is infinite — the
+  // --robot-mtbf "disabled" spelling.
+  EXPECT_TRUE(std::isinf(args.get_double_in("robot-mtbf", inf, 1.0, inf)));
+  // NaN is never in any range.
+  EXPECT_THROW((void)args.get_double_in("bad", 0.0, 0.0, inf), std::invalid_argument);
 }
 
 TEST(ArgsTest, RejectUnknownCatchesTypos) {

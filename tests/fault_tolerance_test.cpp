@@ -1,0 +1,302 @@
+// Robot fault tolerance: failure injection, lease-based dead-robot
+// detection, task reassignment, and manager failover.
+//
+// The chaos suite is the tentpole check: with staggered robot crashes and a
+// surviving robot holding spares, every injected sensor failure must still
+// be repaired eventually, for all three coordination algorithms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/centralized.hpp"
+#include "core/fixed_distributed.hpp"
+#include "core/simulation.hpp"
+#include "robot/fault.hpp"
+
+namespace sensrep::core {
+namespace {
+
+SimulationConfig base_config(Algorithm algo, std::uint64_t seed, double duration) {
+  SimulationConfig cfg;
+  cfg.algorithm = algo;
+  cfg.robots = 4;
+  cfg.seed = seed;
+  cfg.sim_duration = duration;
+  return cfg;
+}
+
+// --- FaultConfig unit tests ------------------------------------------------------
+
+TEST(FaultConfig, DisabledByDefault) {
+  robot::FaultConfig f;
+  EXPECT_FALSE(f.spontaneous());
+  EXPECT_FALSE(f.enabled());
+  EXPECT_NO_THROW(f.validate());
+}
+
+TEST(FaultConfig, AnyFaultSourceEnablesTheSubsystem) {
+  robot::FaultConfig f;
+  f.mtbf = 16000.0;
+  EXPECT_TRUE(f.spontaneous());
+  EXPECT_TRUE(f.enabled());
+
+  robot::FaultConfig crashes;
+  crashes.crashes.push_back({0, 100.0});
+  EXPECT_FALSE(crashes.spontaneous());
+  EXPECT_TRUE(crashes.enabled());
+
+  robot::FaultConfig mgr;
+  mgr.manager_crash_at = 100.0;
+  EXPECT_TRUE(mgr.enabled());
+}
+
+TEST(FaultConfig, LeaseWindowIsMultiplierTimesHeartbeat) {
+  robot::FaultConfig f;
+  EXPECT_DOUBLE_EQ(f.lease_window(), 180.0);  // 3 x 60 s defaults
+  f.heartbeat_period = 30.0;
+  f.lease_multiplier = 4.0;
+  EXPECT_DOUBLE_EQ(f.lease_window(), 120.0);
+}
+
+TEST(FaultConfig, ValidateRejectsBadParameters) {
+  robot::FaultConfig f;
+  f.mtbf = 0.0;
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f.mtbf = std::nan("");
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f.mtbf = 16000.0;
+  f.weibull_shape = -1.0;
+  f.distribution = robot::FaultDistribution::kWeibull;
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f.weibull_shape = 3.0;
+  EXPECT_NO_THROW(f.validate());
+  f.lease_multiplier = 0.5;
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+}
+
+TEST(FaultConfig, DrawMeansMatchMtbfForBothDistributions) {
+  for (const auto dist :
+       {robot::FaultDistribution::kExponential, robot::FaultDistribution::kWeibull}) {
+    robot::FaultConfig f;
+    f.distribution = dist;
+    f.mtbf = 16000.0;
+    sim::Rng rng(99);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += f.draw(rng);
+    EXPECT_NEAR(sum / n, f.mtbf, f.mtbf * 0.05) << to_string(dist);
+  }
+}
+
+TEST(FaultConfig, SimulationConfigCrossValidation) {
+  auto cfg = base_config(Algorithm::kDynamicDistributed, 1, 1000.0);
+  cfg.robot_faults.crashes.push_back({cfg.robots, 100.0});  // index out of range
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.robot_faults.crashes.clear();
+  cfg.robot_faults.manager_crash_at = 100.0;  // needs the centralized algorithm
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.algorithm = Algorithm::kCentralized;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+// --- Opt-in gating ---------------------------------------------------------------
+
+TEST(FaultGating, DefaultConfigRunsWithZeroFaultActivity) {
+  // The regression suite pins the golden traces byte-for-byte; this asserts
+  // the observable invariant behind it: no fault model, no fault traffic.
+  Simulation s(base_config(Algorithm::kCentralized, 1, 4000.0));
+  s.run();
+  const auto r = s.result();
+  EXPECT_EQ(r.robot_failures, 0u);
+  EXPECT_EQ(r.tasks_lost, 0u);
+  EXPECT_EQ(r.orphaned_tasks, 0u);
+  EXPECT_EQ(r.redispatches, 0u);
+  EXPECT_EQ(r.failover_events, 0u);
+  EXPECT_EQ(r.adoptions, 0u);
+  EXPECT_EQ(r.tx(metrics::MessageCategory::kFaultTolerance), 0u);
+  EXPECT_EQ(r.summary().find("faults"), std::string::npos);
+}
+
+TEST(FaultGating, ScheduledCrashKillsExactlyThatRobot) {
+  auto cfg = base_config(Algorithm::kDynamicDistributed, 1, 4000.0);
+  cfg.robot_faults.crashes.push_back({2, 1000.0});
+  Simulation s(cfg);
+  s.run_until(999.0);
+  EXPECT_FALSE(s.robots()[2]->failed());
+  s.run_until(1001.0);
+  EXPECT_TRUE(s.robots()[2]->failed());
+  const double odo_at_death = s.robots()[2]->odometer();
+  s.run();
+  EXPECT_DOUBLE_EQ(s.robots()[2]->odometer(), odo_at_death);  // dead robots park
+  const auto r = s.result();
+  EXPECT_EQ(r.robot_failures, 1u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.robots()[i]->failed(), i == 2) << "robot " << i;
+  }
+}
+
+TEST(FaultGating, SpontaneousMtbfKillsRobotsOverTime) {
+  auto cfg = base_config(Algorithm::kDynamicDistributed, 5, 8000.0);
+  cfg.robot_faults.mtbf = 4000.0;  // E[deaths by 8000 s] = 4 * (1 - e^-2) ~ 3.5
+  Simulation s(cfg);
+  s.run();
+  const auto r = s.result();
+  EXPECT_GE(r.robot_failures, 1u);
+  EXPECT_LE(r.robot_failures, 4u);
+  EXPECT_NE(r.summary().find("faults"), std::string::npos);
+}
+
+// --- Chaos: every failure repaired while one robot with spares survives ----------
+
+class ChaosRecovery : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(ChaosRecovery, EveryFailureRepairedDespiteRobotDeaths) {
+  // Three of four robots die in a staggered sequence while sensor failures
+  // are injected; the fleet's remaining robot holds unlimited spares. The
+  // recovery machinery (leases + re-reports + per-algorithm reassignment)
+  // must eventually repair every single failure.
+  auto cfg = base_config(GetParam(), 11, 16000.0);
+  cfg.field.spontaneous_failures = false;  // injected failures only
+  cfg.robot_faults.crashes = {{0, 1200.0}, {1, 2400.0}, {2, 3600.0}};
+  Simulation s(cfg);
+
+  // Victims spaced farther apart than the sensor radio range, so no victim
+  // can be another victim's guardian — detection never races the injection.
+  std::vector<net::NodeId> victims;
+  for (net::NodeId id = 0; id < s.field().size() && victims.size() < 12; ++id) {
+    const auto p = s.field().node(id).position();
+    bool spread = true;
+    for (const auto v : victims) {
+      spread = spread && geometry::distance(p, s.field().node(v).position()) >
+                             cfg.field.sensor_tx_range;
+    }
+    if (spread) victims.push_back(id);
+  }
+  ASSERT_GE(victims.size(), 8u);
+
+  // Two injection waves bracketing the robot deaths: wave one lands while
+  // the full fleet is up (tasks die with their robots), wave two lands when
+  // sensors still hold stale knowledge of dead robots.
+  s.run_until(600.0);
+  for (std::size_t i = 0; i < victims.size() / 2; ++i) s.field().fail_slot(victims[i]);
+  s.run_until(2600.0);
+  for (std::size_t i = victims.size() / 2; i < victims.size(); ++i) {
+    s.field().fail_slot(victims[i]);
+  }
+  s.run();
+
+  const auto r = s.result();
+  EXPECT_EQ(r.robot_failures, 3u);
+  ASSERT_EQ(r.failures, victims.size());
+  EXPECT_EQ(r.detected, r.failures);
+  EXPECT_EQ(r.repaired, r.failures)
+      << "unrepaired failures survived the recovery machinery";
+  // The last robot standing did work after the rest of the fleet was gone.
+  EXPECT_TRUE(s.robots()[3]->repairs_done() > 0);
+  for (const auto& rec : s.failure_log().records()) {
+    EXPECT_TRUE(rec.repaired()) << "slot " << rec.node_id << " never repaired";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ChaosRecovery,
+                         ::testing::Values(Algorithm::kCentralized,
+                                           Algorithm::kFixedDistributed,
+                                           Algorithm::kDynamicDistributed),
+                         [](const ::testing::TestParamInfo<Algorithm>& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+// --- Centralized: lease-expiry redispatch and manager failover -------------------
+
+TEST(CentralizedRecovery, LeaseExpiryRedispatchesInFlightTasks) {
+  auto cfg = base_config(Algorithm::kCentralized, 3, 10000.0);
+  cfg.field.spontaneous_failures = false;
+  // All but robot 3 die just after dispatch, with tasks still in flight.
+  cfg.robot_faults.crashes = {{0, 560.0}, {1, 560.0}, {2, 560.0}};
+  Simulation s(cfg);
+  s.run_until(500.0);
+  for (net::NodeId id = 0; id < 10; ++id) {
+    s.field().fail_slot(static_cast<net::NodeId>(id * 19));
+  }
+  s.run();
+  const auto r = s.result();
+  EXPECT_GE(r.redispatches, 1u);  // leases expired with work outstanding
+  EXPECT_EQ(r.repaired, r.failures);
+  const auto* algo = dynamic_cast<const CentralizedAlgorithm*>(&s.algorithm());
+  ASSERT_NE(algo, nullptr);
+  EXPECT_EQ(algo->in_flight_count(), 0u);  // table drains once work completes
+}
+
+TEST(CentralizedRecovery, ManagerFailoverPromotesLowestLiveRobot) {
+  auto cfg = base_config(Algorithm::kCentralized, 7, 8000.0);
+  cfg.robot_faults.manager_crash_at = 2000.0;
+  Simulation s(cfg);
+  s.run();
+  const auto r = s.result();
+  EXPECT_EQ(r.failover_events, 1u);
+  const auto* algo = dynamic_cast<const CentralizedAlgorithm*>(&s.algorithm());
+  ASSERT_NE(algo, nullptr);
+  ASSERT_TRUE(algo->acting_manager().has_value());
+  EXPECT_EQ(*algo->acting_manager(), 0u);  // lowest-id live robot wins
+  // The pipeline keeps flowing after the failover: failures born well after
+  // the crash still get reported (to the acting manager) and repaired.
+  std::size_t late_repaired = 0;
+  for (const auto& rec : s.failure_log().records()) {
+    if (rec.failed_at > 3000.0 && rec.repaired()) ++late_repaired;
+  }
+  EXPECT_GT(late_repaired, 0u);
+  EXPECT_GE(r.delivery_ratio, 0.8);
+}
+
+TEST(CentralizedRecovery, FailoverSkipsDeadRobots) {
+  auto cfg = base_config(Algorithm::kCentralized, 7, 8000.0);
+  cfg.robot_faults.crashes = {{0, 1000.0}};   // robot 0 is long dead...
+  cfg.robot_faults.manager_crash_at = 3000.0;  // ...when the manager goes
+  Simulation s(cfg);
+  s.run();
+  const auto* algo = dynamic_cast<const CentralizedAlgorithm*>(&s.algorithm());
+  ASSERT_NE(algo, nullptr);
+  ASSERT_TRUE(algo->acting_manager().has_value());
+  EXPECT_EQ(*algo->acting_manager(), 1u);  // 0 is dead; next index promotes
+}
+
+// --- Fixed distributed: subarea adoption ----------------------------------------
+
+TEST(FixedRecovery, OrphanedSubareaIsAdoptedAndServed) {
+  auto cfg = base_config(Algorithm::kFixedDistributed, 13, 8000.0);
+  cfg.robot_faults.crashes = {{1, 1500.0}};
+  Simulation s(cfg);
+  s.run();
+  const auto r = s.result();
+  EXPECT_GE(r.adoptions, 1u);
+  const auto* algo = dynamic_cast<const FixedDistributedAlgorithm*>(&s.algorithm());
+  ASSERT_NE(algo, nullptr);
+  for (std::size_t cell = 0; cell < algo->owners().size(); ++cell) {
+    EXPECT_NE(algo->owners()[cell], 1u) << "cell " << cell << " still owned by the dead robot";
+  }
+  // Failures in the orphaned subarea born after the adoption are repaired by
+  // the adopter (detected via the dead robot's repair log being frozen).
+  std::size_t late_repaired = 0;
+  for (const auto& rec : s.failure_log().records()) {
+    if (rec.failed_at > 2500.0 && rec.repaired()) ++late_repaired;
+  }
+  EXPECT_GT(late_repaired, 0u);
+  EXPECT_GE(r.repaired, r.failures * 3 / 4);
+}
+
+// --- Satellite: the silent task drop is now counted ------------------------------
+
+TEST(OrphanedTasks, NoSparesNoDepotIsCountedNotSilent) {
+  auto cfg = base_config(Algorithm::kDynamicDistributed, 17, 4000.0);
+  cfg.robot_spares = 0;  // fleet that cannot repair at all (E11 baseline)
+  Simulation s(cfg);
+  s.run();
+  const auto r = s.result();
+  EXPECT_EQ(r.repaired, 0u);
+  EXPECT_GT(r.orphaned_tasks, 0u);  // previously dropped without a trace
+  EXPECT_NE(r.summary().find("orphaned"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sensrep::core

@@ -292,6 +292,51 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(param_info.param.seed);
     });
 
+// --- Reliable reports: eventual delivery under Bernoulli loss ------------------------
+
+class ReliableDeliveryProperty : public ::testing::TestWithParam<RunParam> {};
+
+TEST_P(ReliableDeliveryProperty, EveryDetectedFailureIsEventuallyReported) {
+  // With end-to-end acks and a retry budget that outlasts the loss process,
+  // every detected failure's report must eventually reach a manager — the
+  // whole point of the reliable_reports extension. Failures detected in the
+  // final retry-horizon of the run are excluded: their retransmission window
+  // is cut short by the simulation end, not by the protocol.
+  core::SimulationConfig cfg;
+  cfg.algorithm = GetParam().algorithm;
+  cfg.robots = 4;
+  cfg.seed = GetParam().seed;
+  cfg.sim_duration = 8000.0;
+  cfg.radio.loss_probability = 0.15;
+  cfg.field.reliable_reports = true;
+  cfg.field.report_retries = 50;  // retry budget >> E[attempts to succeed]
+  core::Simulation s(cfg);
+  s.run();
+
+  const double grace =
+      (cfg.field.report_retries + 1) * cfg.field.report_retry_timeout;
+  std::size_t checked = 0;
+  for (const auto& rec : s.failure_log().records()) {
+    if (!rec.detected() || rec.detected_at > cfg.sim_duration - grace) continue;
+    ++checked;
+    EXPECT_TRUE(sim::is_valid_time(rec.reported_at))
+        << "slot " << rec.node_id << " detected at " << rec.detected_at
+        << " but its report never got through";
+  }
+  ASSERT_GT(checked, 10u);  // the property was actually exercised
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndSeeds, ReliableDeliveryProperty,
+    ::testing::Values(RunParam{core::Algorithm::kCentralized, 51},
+                      RunParam{core::Algorithm::kFixedDistributed, 52},
+                      RunParam{core::Algorithm::kDynamicDistributed, 53},
+                      RunParam{core::Algorithm::kDynamicDistributed, 54}),
+    [](const ::testing::TestParamInfo<RunParam>& param_info) {
+      return std::string(to_string(param_info.param.algorithm)) + "_seed" +
+             std::to_string(param_info.param.seed);
+    });
+
 // --- Per-robot bookkeeping consistency -----------------------------------------------
 
 TEST(BookkeepingProperty, OdometerCoversAttributedTravel) {

@@ -65,6 +65,19 @@ class Args {
     }
   }
 
+  /// get_double with range validation: throws unless lo <= value <= hi.
+  /// "inf" (any case handled by std::stod) is accepted when hi is infinite —
+  /// used by flags like --robot-mtbf where infinity means "disabled".
+  double get_double_in(const std::string& name, double fallback, double lo, double hi) {
+    const double v = get_double(name, fallback);
+    if (!(v >= lo) || !(v <= hi)) {  // negated compares also reject NaN
+      throw std::invalid_argument("--" + name + ": value " + std::to_string(v) +
+                                  " out of range [" + std::to_string(lo) + ", " +
+                                  std::to_string(hi) + "]");
+    }
+    return v;
+  }
+
   std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) {
     const auto v = get(name);
     if (!v) return fallback;

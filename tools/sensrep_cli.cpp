@@ -18,6 +18,14 @@
 //   --neighborhood-watch   enable the correlated-failure detection extension
 //   --reliable-reports  end-to-end acked failure reports with retransmission
 //   --idle-reposition   idle robots return to their region centroid (E12)
+//   --robot-mtbf=S      mean time between robot failures, seconds ("inf"
+//                       disables — the default; enables the fault-tolerance
+//                       subsystem: heartbeats, leases, recovery)
+//   --robot-fault-dist=exponential|weibull:K   robot TTF distribution
+//   --robot-crash=I:T[,I:T...]  deterministic crashes: robot index I at time T
+//   --manager-crash=T   kill the centralized manager at time T (failover test)
+//   --heartbeat=S       robot liveness heartbeat period (default 60)
+//   --lease-multiplier=M  lease expires after M heartbeat periods (default 3)
 //   --collisions        model broadcast-frame collisions at receivers
 //   --csv=PATH          append one result row per run to a CSV file
 //   --trace=PATH        write the failure-lifecycle event log as JSON lines
@@ -32,6 +40,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <limits>
 
 #include "core/replication.hpp"
 #include "core/simulation.hpp"
@@ -70,6 +79,43 @@ void parse_lifetime(const std::string& s, wsn::LifetimeModel& model) {
   }
 }
 
+// "--robot-crash=0:5000,2:12000" -> robot 0 dies at t=5000s, robot 2 at 12000s.
+std::vector<robot::ScheduledCrash> parse_crashes(const std::string& s) {
+  std::vector<robot::ScheduledCrash> crashes;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    auto end = s.find(',', start);
+    if (end == std::string::npos) end = s.size();
+    const std::string item = s.substr(start, end - start);
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("--robot-crash: expected I:T pairs, got '" + item + "'");
+    }
+    try {
+      crashes.push_back(robot::ScheduledCrash{std::stoul(item.substr(0, colon)),
+                                              std::stod(item.substr(colon + 1))});
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("--robot-crash: bad pair '" + item + "'");
+    }
+    start = end + 1;
+  }
+  return crashes;
+}
+
+void parse_fault_dist(const std::string& s, robot::FaultConfig& faults) {
+  const auto colon = s.find(':');
+  const std::string kind = s.substr(0, colon);
+  if (kind == "exponential") {
+    faults.distribution = robot::FaultDistribution::kExponential;
+  } else if (kind == "weibull") {
+    faults.distribution = robot::FaultDistribution::kWeibull;
+    if (colon != std::string::npos) faults.weibull_shape = std::stod(s.substr(colon + 1));
+  } else {
+    throw std::invalid_argument("--robot-fault-dist: expected exponential|weibull:K, got " +
+                                s);
+  }
+}
+
 void append_csv(const std::string& path, const core::SimulationConfig& cfg,
                 const core::ExperimentResult& r) {
   const bool fresh = !std::ifstream(path).good();
@@ -79,13 +125,15 @@ void append_csv(const std::string& path, const core::SimulationConfig& cfg,
     csv.row({"algorithm", "robots", "seed", "duration_s", "loss", "failures", "repaired",
              "travel_m_per_failure", "report_hops", "request_hops",
              "update_tx_per_failure", "repair_latency_s", "p95_latency_s",
-             "delivery_ratio", "motion_energy_kj"});
+             "delivery_ratio", "motion_energy_kj", "robot_failures", "tasks_lost",
+             "orphaned_tasks", "redispatches", "failover_events", "adoptions"});
   }
   csv.row(std::string(to_string(cfg.algorithm)), cfg.robots, r.seed, cfg.sim_duration,
           cfg.radio.loss_probability, r.failures, r.repaired, r.avg_travel_per_repair,
           r.avg_report_hops, r.avg_request_hops, r.location_update_tx_per_repair,
           r.avg_repair_latency, r.p95_repair_latency, r.delivery_ratio,
-          r.motion_energy_j / 1000.0);
+          r.motion_energy_j / 1000.0, r.robot_failures, r.tasks_lost, r.orphaned_tasks,
+          r.redispatches, r.failover_events, r.adoptions);
 }
 
 }  // namespace
@@ -119,6 +167,19 @@ int main(int argc, char** argv) {
     cfg.field.reliable_reports = args.has("reliable-reports");
     cfg.idle_reposition = args.has("idle-reposition");
     cfg.radio.model_collisions = args.has("collisions");
+
+    const double inf = std::numeric_limits<double>::infinity();
+    cfg.robot_faults.mtbf = args.get_double_in("robot-mtbf", inf, 1.0, inf);
+    parse_fault_dist(args.get_string("robot-fault-dist", "exponential"), cfg.robot_faults);
+    const auto crash_spec = args.get_string("robot-crash", "");
+    if (!crash_spec.empty()) cfg.robot_faults.crashes = parse_crashes(crash_spec);
+    if (args.has("manager-crash")) {
+      cfg.robot_faults.manager_crash_at =
+          args.get_double_in("manager-crash", 0.0, 0.0, inf);
+    }
+    cfg.robot_faults.heartbeat_period = args.get_double_in("heartbeat", 60.0, 1.0, inf);
+    cfg.robot_faults.lease_multiplier =
+        args.get_double_in("lease-multiplier", 3.0, 1.0, 100.0);
 
     const auto replications = args.get_u64("replications", 1);
     const auto jobs = args.get_u64("jobs", 0);  // 0 = hardware concurrency

@@ -19,9 +19,16 @@
 //   --jobs=N         worker threads (default: hardware concurrency)
 //   --retries=N      extra attempts per failed run (default 0)
 //   --gnuplot=PATH   also write a gnuplot script plotting figs 2-4 from the CSV
+//   --loss=P         per-reception Bernoulli loss probability for every cell
+//   --reliable-reports  acked failure reports with retransmission (pairs
+//                    with --loss for the E11 robustness grid)
+//   --robot-mtbf=S   mean time between robot failures ("inf" disables, the
+//                    default); enables the fault-tolerance subsystem in
+//                    every cell of the grid (E13)
 
 #include <fstream>
 #include <iostream>
+#include <limits>
 
 #include "runner/executor.hpp"
 #include "tools/args.hpp"
@@ -69,11 +76,18 @@ int main(int argc, char** argv) {
     const auto jobs = args.get_u64("jobs", 0);  // 0 = hardware concurrency
     const auto retries = args.get_u64("retries", 0);
     const std::string gnuplot_path = args.get_string("gnuplot", "");
+    const double inf = std::numeric_limits<double>::infinity();
+    const double loss = args.get_double_in("loss", 0.0, 0.0, 1.0);
+    const bool reliable_reports = args.has("reliable-reports");
+    const double robot_mtbf = args.get_double_in("robot-mtbf", inf, 1.0, inf);
     args.reject_unknown();
 
     runner::ParameterGrid grid;
     grid.seeds = seeds;
     grid.base.sim_duration = duration;
+    grid.base.radio.loss_probability = loss;
+    grid.base.field.reliable_reports = reliable_reports;
+    grid.base.robot_faults.mtbf = robot_mtbf;
 
     std::ofstream out(out_path);
     runner::CsvSink csv(out);
