@@ -1,18 +1,23 @@
-// E13 — robot fault tolerance under spontaneous robot failures.
+// E13/E14 — robot fault tolerance under spontaneous robot failures.
 //
 // The paper assumes maintenance robots never fail. This ablation drops that
 // assumption: robots draw exponential times-to-failure at a swept MTBF, the
 // lease-based detection machinery presumes silent robots dead, and each
 // algorithm runs its recovery path (centralized re-dispatch, fixed subarea
-// adoption, dynamic re-flooding). Watched: how gracefully repair completion
-// and latency degrade as the fleet decays, and what the recovery machinery
-// actually did. Results land in the table below and e13_robot_failure.csv.
+// adoption, dynamic re-flooding). The MTTR rows (E14) add repair/return:
+// failed robots resurrect after an exponential time-to-repair and rejoin
+// service, cycling the fleet toward MTBF / (MTBF + MTTR) availability.
+// Watched: how gracefully repair completion and latency degrade as the fleet
+// decays, and how much of that degradation a finite MTTR buys back. Results
+// land in the table below and e13_robot_failure.csv.
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <map>
+#include <tuple>
 
 #include "core/simulation.hpp"
 
@@ -25,12 +30,22 @@ using sensrep::core::SimulationConfig;
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Sweep axis: expected robot lifetime relative to the 32000 s horizon
-// (inf = the paper's fault-free fleet; 8000 s ~ the whole fleet dies).
-constexpr double kMtbfSweep[] = {kInf, 32000.0, 16000.0, 8000.0};
+// (inf = the paper's fault-free fleet; 8000 s ~ the whole fleet dies), then
+// the E14 availability pairs: the harshest MTBF with progressively faster
+// repair (availability 0.67 and 0.89 in steady state).
+struct SweepPoint {
+  double mtbf;
+  double mttr;
+};
+constexpr SweepPoint kSweep[] = {
+    {kInf, kInf},     {32000.0, kInf}, {16000.0, kInf},
+    {8000.0, kInf},   {8000.0, 4000.0}, {8000.0, 1000.0},
+};
+constexpr std::size_t kSweepSize = sizeof(kSweep) / sizeof(kSweep[0]);
 
-const ExperimentResult& run_cached(Algorithm algo, double mtbf) {
-  static std::map<std::pair<Algorithm, double>, ExperimentResult> cache;
-  const auto key = std::make_pair(algo, mtbf);
+const ExperimentResult& run_cached(Algorithm algo, SweepPoint p) {
+  static std::map<std::tuple<Algorithm, double, double>, ExperimentResult> cache;
+  const auto key = std::make_tuple(algo, p.mtbf, p.mttr);
   auto it = cache.find(key);
   if (it == cache.end()) {
     SimulationConfig cfg;
@@ -38,7 +53,8 @@ const ExperimentResult& run_cached(Algorithm algo, double mtbf) {
     cfg.robots = 4;
     cfg.seed = 1;
     cfg.sim_duration = 32000.0;
-    cfg.robot_faults.mtbf = mtbf;
+    cfg.robot_faults.mtbf = p.mtbf;
+    cfg.robot_faults.mttr = p.mttr;
     sensrep::core::Simulation sim(cfg);
     sim.run();
     it = cache.emplace(key, sim.result()).first;
@@ -52,41 +68,55 @@ double repaired_frac(const ExperimentResult& r) {
              : static_cast<double>(r.repaired) / static_cast<double>(r.failures);
 }
 
+// Steady-state fleet availability implied by the fault model (1.0 when
+// repairs are disabled and the fleet just decays).
+double steady_availability(SweepPoint p) {
+  if (!std::isfinite(p.mtbf)) return 1.0;
+  if (!std::isfinite(p.mttr)) return 0.0;  // pure decay: no steady state
+  return p.mtbf / (p.mtbf + p.mttr);
+}
+
 void BM_RobotFailure(benchmark::State& state, Algorithm algo) {
-  const double mtbf = kMtbfSweep[static_cast<std::size_t>(state.range(0))];
+  const SweepPoint p = kSweep[static_cast<std::size_t>(state.range(0))];
   for (auto _ : state) {
-    const auto& r = run_cached(algo, mtbf);
+    const auto& r = run_cached(algo, p);
     state.counters["robot_failures"] = static_cast<double>(r.robot_failures);
+    state.counters["robot_repairs"] = static_cast<double>(r.robot_repairs);
     state.counters["repaired_frac"] = repaired_frac(r);
     state.counters["repair_latency_s"] = r.avg_repair_latency;
   }
 }
 
 void print_figure() {
-  std::puts("\n=== E13: repair service under robot failures (4 robots, 32000 s) ===");
   std::puts(
-      "algorithm    mtbf_s  dead  repaired/fail  latency_s  lost  redisp  failover  adopt");
+      "\n=== E13/E14: repair service under robot failures (4 robots, 32000 s) ===");
+  std::puts(
+      "algorithm    mtbf_s  mttr_s  dead  back  repaired/fail  latency_s  lost  "
+      "redisp  failover  adopt");
   FILE* csv = std::fopen("e13_robot_failure.csv", "w");
   if (csv) {
     std::fprintf(csv,
-                 "algorithm,mtbf_s,robot_failures,failures,repaired,repaired_frac,"
-                 "repair_latency_s,tasks_lost,orphaned_tasks,redispatches,"
-                 "failover_events,adoptions\n");
+                 "algorithm,mtbf_s,mttr_s,steady_availability,robot_failures,"
+                 "robot_repairs,failures,repaired,repaired_frac,repair_latency_s,"
+                 "tasks_lost,orphaned_tasks,redispatches,failover_events,adoptions,"
+                 "ownership_transfers\n");
   }
   for (const auto algo : {Algorithm::kCentralized, Algorithm::kFixedDistributed,
                           Algorithm::kDynamicDistributed}) {
-    for (const double mtbf : kMtbfSweep) {
-      const auto& r = run_cached(algo, mtbf);
-      std::printf("%-11s  %6.0f  %4zu  %13.4f  %9.1f  %4zu  %6zu  %8zu  %5zu\n",
-                  std::string(to_string(algo)).c_str(), mtbf, r.robot_failures,
-                  repaired_frac(r), r.avg_repair_latency, r.tasks_lost, r.redispatches,
-                  r.failover_events, r.adoptions);
+    for (const SweepPoint p : kSweep) {
+      const auto& r = run_cached(algo, p);
+      std::printf(
+          "%-11s  %6.0f  %6.0f  %4zu  %4zu  %13.4f  %9.1f  %4zu  %6zu  %8zu  %5zu\n",
+          std::string(to_string(algo)).c_str(), p.mtbf, p.mttr, r.robot_failures,
+          r.robot_repairs, repaired_frac(r), r.avg_repair_latency, r.tasks_lost,
+          r.redispatches, r.failover_events, r.adoptions);
       if (csv) {
-        std::fprintf(csv, "%s,%g,%zu,%zu,%zu,%.6f,%.3f,%zu,%zu,%zu,%zu,%zu\n",
-                     std::string(to_string(algo)).c_str(), mtbf, r.robot_failures,
+        std::fprintf(csv, "%s,%g,%g,%.4f,%zu,%zu,%zu,%zu,%.6f,%.3f,%zu,%zu,%zu,%zu,%zu,%zu\n",
+                     std::string(to_string(algo)).c_str(), p.mtbf, p.mttr,
+                     steady_availability(p), r.robot_failures, r.robot_repairs,
                      r.failures, r.repaired, repaired_frac(r), r.avg_repair_latency,
                      r.tasks_lost, r.orphaned_tasks, r.redispatches, r.failover_events,
-                     r.adoptions);
+                     r.adoptions, r.ownership_transfers);
       }
     }
   }
@@ -97,17 +127,22 @@ void print_figure() {
   std::puts(
       "expectation: repair completion degrades gracefully with fleet decay instead of\n"
       "collapsing — leases hand orphaned work to survivors; the surviving robots'\n"
-      "longer legs show up as repair latency, not as permanently lost failures");
+      "longer legs show up as repair latency, not as permanently lost failures.\n"
+      "E14 (finite MTTR): resurrections claw the completion fraction and latency\n"
+      "back toward the fault-free line as availability MTBF/(MTBF+MTTR) rises");
 }
 
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_RobotFailure, centralized, Algorithm::kCentralized)
-    ->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kSecond);
+    ->DenseRange(0, static_cast<int>(kSweepSize) - 1)->Iterations(1)
+    ->Unit(benchmark::kSecond);
 BENCHMARK_CAPTURE(BM_RobotFailure, fixed, Algorithm::kFixedDistributed)
-    ->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kSecond);
+    ->DenseRange(0, static_cast<int>(kSweepSize) - 1)->Iterations(1)
+    ->Unit(benchmark::kSecond);
 BENCHMARK_CAPTURE(BM_RobotFailure, dynamic, Algorithm::kDynamicDistributed)
-    ->DenseRange(0, 3)->Iterations(1)->Unit(benchmark::kSecond);
+    ->DenseRange(0, static_cast<int>(kSweepSize) - 1)->Iterations(1)
+    ->Unit(benchmark::kSecond);
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);

@@ -170,6 +170,27 @@ void CentralizedAlgorithm::handle_manager_packet(const Packet& pkt) {
       close_in_flight(std::get<net::TaskCompletePayload>(pkt.payload));
       if (fault_tolerance_active()) refresh_lease(robot_index(pkt.src));
       break;
+    case PacketType::kOwnershipTransfer: {
+      // Handback offer from the acting manager reached the repaired manager:
+      // the role moves back here. Pure confirmation ack to the sender.
+      const auto& offer = std::get<net::OwnershipTransferPayload>(pkt.payload);
+      if (offer.ack) break;
+      const NodeId former = pkt.src;
+      apply_handback();
+      Packet ack;
+      ack.type = PacketType::kOwnershipTransfer;
+      ack.dst = former;
+      const auto it = robot_locations_.find(former);
+      ack.dst_location = it != robot_locations_.end()
+                             ? it->second
+                             : robot_at(robot_index(former)).position();
+      ack.payload = net::OwnershipTransferPayload{offer.cell, manager_->id(),
+                                                  manager_->position(),
+                                                  offer.transfer_seq, true};
+      manager_->refresh_neighbor_table();
+      manager_->router().send(std::move(ack));
+      break;
+    }
     default:
       break;
   }
@@ -256,6 +277,30 @@ void CentralizedAlgorithm::on_robot_packet(robot::RobotNode& robot, const Packet
         break;
     }
   }
+  if (pkt.type == PacketType::kElection) {
+    // A failover winner announced itself: acknowledge so the election is a
+    // real two-way exchange (and proves this robot alive to the new manager).
+    const auto& ballot = std::get<net::ElectionPayload>(pkt.payload);
+    Packet ack;
+    ack.type = PacketType::kElectionAck;
+    ack.dst = ballot.winner;
+    ack.dst_location = ballot.winner_location;
+    ack.payload = net::ElectionPayload{ballot.winner, ballot.winner_location,
+                                       ballot.election_seq, true};
+    robot.refresh_neighbor_table();
+    robot.router().send(std::move(ack));
+    return;
+  }
+  if (pkt.type == PacketType::kElectionAck) {
+    // Delivered to the acting manager: the acker is alive — refresh its lease.
+    if (fault_tolerance_active()) refresh_lease(robot_index(pkt.src));
+    return;
+  }
+  if (pkt.type == PacketType::kOwnershipTransfer) {
+    // Ack of the handback offer this (former acting manager) robot sent; the
+    // role change itself was applied when the offer reached the manager.
+    return;
+  }
   if (pkt.type != PacketType::kRepairRequest) return;
   const auto& body = std::get<net::RepairRequestPayload>(pkt.payload);
   if (body.failure_id != 0) {
@@ -277,9 +322,97 @@ void CentralizedAlgorithm::fail_manager() {
   }
 }
 
+void CentralizedAlgorithm::repair_manager() {
+  if (manager_ && manager_->failed()) {
+    manager_->repair();
+    trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
+                                 "manager %u repaired%s", manager_->id(),
+                                 acting_manager_ ? " (awaiting handback)" : "");
+  }
+}
+
+void CentralizedAlgorithm::apply_handback() {
+  if (!acting_manager_) return;  // duplicate offer: the role already returned
+  const NodeId former = config().robot_id(*acting_manager_);
+  acting_manager_.reset();
+  ++fault_stats_.handbacks;
+  ++fault_stats_.ownership_transfers;
+  manager_pos_ = manager_->position();
+  manager_lease_ = ctx().simulator->now();
+  trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
+                               "acting manager %u handed the role back to manager %u",
+                               former, manager_->id());
+  // The in-flight table, tracking map, and backlogs survive the handback —
+  // the role moves, the dispatcher state does not, so no task is lost.
+  // Re-announce flood: the restored manager tells the network where to
+  // report again (same analytic accounting as the promotion flood).
+  ctx().medium->account(metrics::MessageCategory::kFaultTolerance,
+                        1 + static_cast<std::uint64_t>(ctx().field->size()));
+  for (std::size_t i = 0; i < robot_count(); ++i) {
+    if (robot_at(i).failed()) continue;
+    refresh_lease(i);  // fresh grace period under the restored manager
+  }
+  // Sensors in radio range of the restored manager re-learn it as a final
+  // forwarding hop (they may have switched to the acting manager's id).
+  auto& field = *ctx().field;
+  for (std::size_t s = 0; s < field.size(); ++s) {
+    auto& sensor = field.node(static_cast<NodeId>(s));
+    if (!sensor.alive()) continue;
+    if (geometry::distance(sensor.position(), manager_pos_) <=
+        config().field.sensor_tx_range) {
+      sensor.table().upsert(manager_->id(), manager_pos_);
+    }
+  }
+}
+
+void CentralizedAlgorithm::on_robot_rejoin(std::size_t index) {
+  auto& r = robot_at(index);
+  // One-hop hello so nearby sensors re-learn the reborn robot as a next hop.
+  Packet hello;
+  hello.type = PacketType::kLocationAnnounce;
+  hello.src = r.id();
+  hello.dst = kBroadcastId;
+  hello.payload = net::LocationAnnouncePayload{r.position()};
+  hello.category_override = metrics::MessageCategory::kFaultTolerance;
+  ctx().medium->broadcast(r.id(), hello);
+  if (is_acting_manager(r)) {
+    // The acting manager resurrected before its own lease expired: it simply
+    // resumes the role in place.
+    robot_locations_[r.id()] = r.position();
+    manager_pos_ = r.position();
+    return;
+  }
+  // Re-admission: geo-route a kLocationAnnounce to whoever manages now; the
+  // delivery re-enters the robot into the dispatch pool and refreshes its
+  // lease. If every retry is lost, the restarted heartbeat unicasts catch up.
+  Packet announce;
+  announce.type = PacketType::kLocationAnnounce;
+  announce.dst = current_manager_id();
+  announce.dst_location = manager_pos_;
+  announce.payload = net::LocationAnnouncePayload{r.position()};
+  announce.category_override = metrics::MessageCategory::kFaultTolerance;
+  r.router().send(std::move(announce));
+}
+
 void CentralizedAlgorithm::supervise() {
   const auto now = ctx().simulator->now();
   const double window = config().robot_faults.lease_window();
+  // Handback offer: the dedicated manager is back in service, so the acting
+  // manager geo-routes it a kOwnershipTransfer carrying the manager role.
+  // Applied on delivery (apply_handback); a lost offer is simply re-sent at
+  // the next sweep, so the exchange is loss-robust.
+  if (acting_manager_ && manager_ && !manager_->failed() &&
+      !robot_at(*acting_manager_).failed()) {
+    auto& am = robot_at(*acting_manager_);
+    Packet offer;
+    offer.type = PacketType::kOwnershipTransfer;
+    offer.dst = manager_->id();
+    offer.dst_location = manager_->position();
+    offer.payload = net::OwnershipTransferPayload{0, manager_->id(), manager_->position(),
+                                                  ++transfer_seq_, false};
+    am.refresh_neighbor_table();
+    am.router().send(std::move(offer));
+  }
   // Manager heartbeat: a network-wide liveness flood every supervision
   // sweep. The one-hop seed is a real kManagerHeartbeat broadcast (nearby
   // sensors refresh their forwarding entry for the manager); the field-wide
@@ -311,8 +444,8 @@ void CentralizedAlgorithm::supervise() {
 
 void CentralizedAlgorithm::perform_failover() {
   // Election among the surviving robots: the live robot with the lowest id
-  // wins (classic bully outcome). The election exchange is accounted as one
-  // message per fleet member; convergence itself is modeled as immediate.
+  // wins (classic bully outcome). Nothing is charged before the winner check:
+  // an all-dead fleet runs no election and pays for none.
   std::optional<std::size_t> winner;
   for (std::size_t i = 0; i < robot_count(); ++i) {
     if (!robot_at(i).failed()) {
@@ -320,7 +453,6 @@ void CentralizedAlgorithm::perform_failover() {
       break;
     }
   }
-  ctx().medium->account(metrics::MessageCategory::kFaultTolerance, robot_count());
   if (!winner) {
     trace::Logger::global().logf(trace::Level::kError, ctx().simulator->now(), "fault",
                                  "manager lease expired but no live robot to promote");
@@ -328,19 +460,18 @@ void CentralizedAlgorithm::perform_failover() {
   }
   acting_manager_ = winner;
   ++fault_stats_.failovers;
+  ++fault_stats_.elections;
   auto& am = robot_at(*winner);
   manager_pos_ = am.position();
   manager_lease_ = ctx().simulator->now();
   trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
                                "robot %u promoted to acting manager", am.id());
   // Promotion flood: the new manager tells the whole network where to report
-  // (same analytic accounting as the init flood), and every surviving robot
-  // re-announces itself so the tracking table can be rebuilt. The old
-  // manager's in-flight table died with it — unrepaired failures come back
-  // via the guardians' periodic re-reports.
+  // (same analytic accounting as the init flood). The old manager's in-flight
+  // table died with it — unrepaired failures come back via the guardians'
+  // periodic re-reports.
   ctx().medium->account(metrics::MessageCategory::kFaultTolerance,
                         1 + static_cast<std::uint64_t>(ctx().field->size()));
-  ctx().medium->account(metrics::MessageCategory::kFaultTolerance, robot_count());
   in_flight_.clear();
   robot_locations_.clear();
   robot_backlog_.clear();
@@ -351,6 +482,21 @@ void CentralizedAlgorithm::perform_failover() {
     robot_backlog_[r.id()] =
         static_cast<std::uint32_t>(r.queue().size() + (r.busy() ? 1 : 0));
     refresh_lease(i);  // fresh grace period under the new manager
+  }
+  // The election exchange itself is real traffic: the winner geo-routes a
+  // kElection to every other surviving robot (per-hop ARQ handles loss), and
+  // each replies kElectionAck — see on_robot_packet. Convergence is still
+  // modeled as immediate (the winner is deterministic: lowest live id).
+  ++election_seq_;
+  am.refresh_neighbor_table();
+  for (std::size_t i = 0; i < robot_count(); ++i) {
+    if (i == *winner || robot_at(i).failed()) continue;
+    Packet ballot;
+    ballot.type = PacketType::kElection;
+    ballot.dst = robot_at(i).id();
+    ballot.dst_location = robot_at(i).position();
+    ballot.payload = net::ElectionPayload{am.id(), manager_pos_, election_seq_, false};
+    am.router().send(std::move(ballot));
   }
   // Sensors in radio range of the new manager can use it as a final hop.
   auto& field = *ctx().field;

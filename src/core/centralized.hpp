@@ -32,6 +32,7 @@ class CentralizedAlgorithm final : public CoordinationAlgorithm {
 
   // Fault tolerance -----------------------------------------------------------
   void fail_manager() override;
+  void repair_manager() override;
 
   // Introspection (tests/examples) -------------------------------------------
   [[nodiscard]] ManagerNode& manager() { return *manager_; }
@@ -49,6 +50,7 @@ class CentralizedAlgorithm final : public CoordinationAlgorithm {
  protected:
   void supervise() override;
   void on_robot_presumed_dead(std::size_t index) override;
+  void on_robot_rejoin(std::size_t index) override;
   /// Centralized leases are refreshed when an update *reaches* the manager
   /// (receiver-side), not when the robot transmits it.
   [[nodiscard]] bool lease_refresh_on_broadcast() const override { return false; }
@@ -67,6 +69,10 @@ class CentralizedAlgorithm final : public CoordinationAlgorithm {
   void dispatch(const net::FailureReportPayload& failure);
   void close_in_flight(const net::TaskCompletePayload& done);
   void perform_failover();
+  /// The repaired dedicated manager accepted the acting manager's
+  /// kOwnershipTransfer: the role (and the intact in-flight table) moves
+  /// back. Runs on delivery, so a lost offer is simply re-sent next sweep.
+  void apply_handback();
 
   /// Node id failure reports and task-completes are addressed to: the
   /// dedicated manager, or the promoted robot after failover.
@@ -89,6 +95,8 @@ class CentralizedAlgorithm final : public CoordinationAlgorithm {
   std::optional<std::size_t> acting_manager_;
   sim::SimTime manager_lease_ = 0.0;  // fleet's shared belief in the manager
   std::uint32_t manager_hb_seq_ = 0;  // manager-heartbeat flood dedup
+  std::uint32_t election_seq_ = 0;    // per-election round tag (ack correlation)
+  std::uint32_t transfer_seq_ = 0;    // handback-offer retry dedup
 };
 
 }  // namespace sensrep::core

@@ -56,8 +56,17 @@ void SimulationConfig::validate() const {
       throw std::invalid_argument("config: scheduled crash robot index out of range");
     }
   }
+  for (const auto& rep : robot_faults.repairs) {
+    if (rep.robot >= robots) {
+      throw std::invalid_argument("config: scheduled repair robot index out of range");
+    }
+  }
   if (robot_faults.manager_crash_at && algorithm != Algorithm::kCentralized) {
     throw std::invalid_argument("config: manager_crash_at requires the centralized algorithm");
+  }
+  if (robot_faults.manager_repair_at && algorithm != Algorithm::kCentralized) {
+    throw std::invalid_argument(
+        "config: manager_repair_at requires the centralized algorithm");
   }
 }
 

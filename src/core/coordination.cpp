@@ -1,5 +1,7 @@
 #include "core/coordination.hpp"
 
+#include <algorithm>
+
 #include "geometry/voronoi.hpp"
 #include "trace/log.hpp"
 
@@ -105,6 +107,20 @@ void CoordinationAlgorithm::on_robot_failed(robot::RobotNode& /*robot*/,
   fault_stats_.tasks_lost += tasks_lost;
 }
 
+void CoordinationAlgorithm::on_robot_repaired(robot::RobotNode& robot) {
+  ++fault_stats_.robot_repairs;
+  const std::size_t index = robot_index(robot.id());
+  if (ft_active_) {
+    // Grace lease from the resurrection instant, and a reset cadence: the
+    // robot's pre-death update rhythm says nothing about its new life.
+    presumed_dead_[index] = false;
+    lease_[index] = ctx_.simulator->now();
+    cadence_ewma_[index] = config().robot_faults.heartbeat_period;
+    robot.start_heartbeat(config().robot_faults.heartbeat_period);
+  }
+  on_robot_rejoin(index);
+}
+
 void CoordinationAlgorithm::start_fault_tolerance() {
   const auto& faults = config().robot_faults;
   if (!faults.enabled() || ft_active_) return;
@@ -112,6 +128,7 @@ void CoordinationAlgorithm::start_fault_tolerance() {
   const auto now = ctx_.simulator->now();
   lease_.assign(robot_count(), now);
   presumed_dead_.assign(robot_count(), false);
+  cadence_ewma_.assign(robot_count(), faults.heartbeat_period);
   for (std::size_t i = 0; i < robot_count(); ++i) {
     robot_at(i).start_heartbeat(faults.heartbeat_period);
   }
@@ -120,7 +137,20 @@ void CoordinationAlgorithm::start_fault_tolerance() {
 
 void CoordinationAlgorithm::refresh_lease(std::size_t index) {
   if (!ft_active_) return;
-  lease_[index] = ctx_.simulator->now();
+  const auto now = ctx_.simulator->now();
+  const double interval = now - lease_[index];
+  if (interval > 0.0) {
+    // EWMA of the observed inter-refresh cadence (auto-tuned lease windows).
+    cadence_ewma_[index] = 0.75 * cadence_ewma_[index] + 0.25 * interval;
+  }
+  lease_[index] = now;
+}
+
+double CoordinationAlgorithm::effective_lease_window(std::size_t index) const {
+  const auto& faults = config().robot_faults;
+  if (!faults.lease_auto_tune) return faults.lease_window();
+  return std::clamp(faults.lease_multiplier * cadence_ewma_[index],
+                    2.0 * faults.heartbeat_period, faults.lease_window());
 }
 
 robot::RobotNode* CoordinationAlgorithm::closest_live_robot(geometry::Vec2 pos) {
@@ -139,15 +169,19 @@ robot::RobotNode* CoordinationAlgorithm::closest_live_robot(geometry::Vec2 pos) 
 }
 
 void CoordinationAlgorithm::supervise() {
-  const double window = config().robot_faults.lease_window();
   const auto now = ctx_.simulator->now();
   for (std::size_t i = 0; i < robot_count(); ++i) {
     if (presumed_dead_[i]) continue;
+    const double window = effective_lease_window(i);
     if (now - lease_[i] <= window) continue;
     presumed_dead_[i] = true;
-    trace::Logger::global().logf(trace::Level::kInfo, now, "fault",
-                                 "robot %u presumed dead (lease expired %.0fs ago)",
-                                 robot_at(i).id(), now - lease_[i] - window);
+    // Clamped to >= 0: at the boundary sweep the raw difference is a
+    // negative epsilon, which printed as "-0s ago" and broke trace greps.
+    const double overdue = std::max(0.0, now - lease_[i] - window);
+    trace::Logger::global().logf(
+        trace::Level::kInfo, now, "fault",
+        "robot %u presumed dead (lease expired %.0fs ago, window %.0fs)",
+        robot_at(i).id(), overdue, window);
     on_robot_presumed_dead(i);
   }
 }

@@ -34,6 +34,10 @@ struct FaultStats {
   std::size_t redispatches = 0;    // in-flight tasks re-sent to another robot
   std::size_t failovers = 0;       // manager failover promotions (centralized)
   std::size_t adoptions = 0;       // orphaned subareas adopted (fixed)
+  std::size_t robot_repairs = 0;       // robots resurrected (MTTR ground truth)
+  std::size_t elections = 0;           // real kElection rounds run (centralized)
+  std::size_t handbacks = 0;           // acting manager -> repaired manager
+  std::size_t ownership_transfers = 0; // kOwnershipTransfer deliveries applied
 };
 
 /// Base of the three coordination algorithms (paper §3).
@@ -70,6 +74,11 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   /// when the robot's lease expires.
   void on_robot_failed(robot::RobotNode& robot, std::size_t tasks_lost) override;
 
+  /// RobotPolicy: a repaired robot rejoined service. Clears the presumed-dead
+  /// belief, grants a fresh lease, restarts the heartbeat, then runs the
+  /// algorithm-specific on_robot_rejoin path.
+  void on_robot_repaired(robot::RobotNode& robot) override;
+
   /// Arms the fault-tolerance machinery (no-op unless the fault model is
   /// enabled): starts every robot's liveness heartbeat, seeds the lease
   /// table, and schedules the periodic lease supervision sweep. Called by
@@ -80,7 +89,18 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   /// Exercised by FaultConfig::manager_crash_at.
   virtual void fail_manager() {}
 
+  /// Resurrects the dedicated manager node (centralized only; default
+  /// no-op). Exercised by FaultConfig::manager_repair_at; the acting manager
+  /// hands the role back at the next supervision sweep.
+  virtual void repair_manager() {}
+
   [[nodiscard]] const FaultStats& fault_stats() const noexcept { return fault_stats_; }
+
+  /// Lease window applied to robot `index` in supervise(). With
+  /// lease_auto_tune off this is the configured lease_window(); with it on,
+  /// `lease_multiplier * EWMA(inter-refresh interval)` clamped to
+  /// [2 * heartbeat_period, lease_window()].
+  [[nodiscard]] double effective_lease_window(std::size_t index) const;
 
  protected:
   [[nodiscard]] const SystemContext& ctx() const noexcept { return ctx_; }
@@ -157,6 +177,12 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   /// subarea; dynamic refloods a live robot's location. Default: nothing.
   virtual void on_robot_presumed_dead(std::size_t /*index*/) {}
 
+  /// Rejoin hook: robot `index` was repaired and is back in service (lease
+  /// and heartbeat already restored by the base). Centralized re-admits it to
+  /// the dispatch pool; fixed takes its subareas back via kOwnershipTransfer;
+  /// dynamic refloods its location. Default: nothing.
+  virtual void on_robot_rejoin(std::size_t /*index*/) {}
+
   /// Whether a robot's own broadcast refreshes its lease (distributed: the
   /// flood is what peers observe). Centralized returns false — its leases
   /// are refreshed when the update *reaches the manager*.
@@ -171,6 +197,7 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   bool ft_active_ = false;
   std::vector<sim::SimTime> lease_;       // per robot index: last refresh time
   std::vector<bool> presumed_dead_;       // per robot index: system belief
+  std::vector<double> cadence_ewma_;      // per robot index: observed refresh cadence
 };
 
 /// Factory for the algorithm selected in the config.

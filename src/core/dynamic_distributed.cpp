@@ -118,4 +118,13 @@ void DynamicDistributedAlgorithm::on_robot_presumed_dead(std::size_t index) {
   broadcast_location_update(*live);
 }
 
+void DynamicDistributedAlgorithm::on_robot_rejoin(std::size_t index) {
+  auto& r = robot_at(index);
+  trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
+                               "reflooding location of repaired robot %u", r.id());
+  // The reflood re-enters the robot into every nearby sensor's knowledge;
+  // the Voronoi adoption rule in on_location_update does the re-switching.
+  broadcast_location_update(r);
+}
+
 }  // namespace sensrep::core

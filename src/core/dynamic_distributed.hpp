@@ -32,6 +32,11 @@ class DynamicDistributedAlgorithm final : public CoordinationAlgorithm {
   /// surviving robot's location so the orphaned region re-learns a live
   /// manager quickly.
   void on_robot_presumed_dead(std::size_t index) override;
+
+  /// Repair/return: the reborn robot refloods its own location. Sensors it
+  /// is now the closest robot for re-switch their `myrobot` through the
+  /// ordinary Voronoi adoption rule — no extra machinery needed.
+  void on_robot_rejoin(std::size_t index) override;
 };
 
 }  // namespace sensrep::core

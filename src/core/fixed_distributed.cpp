@@ -80,6 +80,11 @@ void FixedDistributedAlgorithm::on_robot_location_update(robot::RobotNode& robot
 
 void FixedDistributedAlgorithm::on_robot_packet(robot::RobotNode& robot,
                                                 const Packet& pkt) {
+  if (pkt.type == PacketType::kOwnershipTransfer) {
+    const auto& body = std::get<net::OwnershipTransferPayload>(pkt.payload);
+    if (!body.ack) apply_return(robot, pkt);
+    return;  // acks are pure confirmation (ownership flipped on delivery)
+  }
   if (pkt.type != PacketType::kFailureReport) return;
   record_report_arrival(pkt);
   acknowledge_report(robot.router(), pkt);
@@ -90,7 +95,8 @@ void FixedDistributedAlgorithm::on_robot_packet(robot::RobotNode& robot,
 void FixedDistributedAlgorithm::on_robot_presumed_dead(std::size_t index) {
   // Election among the surviving robots (one message each, accounted): the
   // live robot with the lowest id adopts every subarea the dead one owned.
-  ctx().medium->account(metrics::MessageCategory::kFaultTolerance, robot_count());
+  // Nothing is charged before the adopter check — an all-dead fleet runs no
+  // election (same rule as the centralized failover).
   std::optional<std::size_t> adopter;
   for (std::size_t i = 0; i < robot_count(); ++i) {
     if (i == index || robot_at(i).failed() || presumed_dead(i)) continue;
@@ -103,6 +109,7 @@ void FixedDistributedAlgorithm::on_robot_presumed_dead(std::size_t index) {
                                  robot_at(index).id());
     return;
   }
+  ctx().medium->account(metrics::MessageCategory::kFaultTolerance, robot_count());
   std::vector<std::size_t> adopted;
   for (std::size_t cell = 0; cell < owner_.size(); ++cell) {
     if (owner_[cell] != index) continue;
@@ -132,6 +139,81 @@ void FixedDistributedAlgorithm::on_robot_presumed_dead(std::size_t index) {
     sensor.learn_robot(am.id(), am.position(), seq);
     sensor.set_myrobot(am.id());
   }
+}
+
+void FixedDistributedAlgorithm::on_robot_rejoin(std::size_t index) {
+  auto& r = robot_at(index);
+  // Reflood the reborn robot's location so its old subarea's sensors relearn
+  // it as a routing hop (they still forward to the adopter until the
+  // ownership transfer lands).
+  broadcast_location_update(r);
+  // Each cell the robot originally owned (identity mapping: cell i <-> robot
+  // i) that is currently adopted is offered back by its adopter.
+  for (std::size_t cell = 0; cell < owner_.size(); ++cell) {
+    if (cell != index || owner_[cell] == index) continue;
+    offer_return(cell, 0);
+  }
+}
+
+void FixedDistributedAlgorithm::offer_return(std::size_t cell, std::size_t attempt) {
+  constexpr std::size_t kMaxAttempts = 5;
+  const std::size_t original = cell;  // identity mapping
+  if (owner_[cell] == original) return;        // transfer already applied
+  if (robot_at(original).failed()) return;     // reborn robot died again
+  auto& holder = robot_at(owner_[cell]);
+  if (holder.failed()) return;  // adopter died; its own death path re-assigns
+  auto& reborn = robot_at(original);
+  Packet offer;
+  offer.type = PacketType::kOwnershipTransfer;
+  offer.dst = reborn.id();
+  offer.dst_location = reborn.position();
+  offer.payload = net::OwnershipTransferPayload{
+      static_cast<std::uint32_t>(cell), reborn.id(), reborn.position(),
+      ++transfer_seq_, false};
+  holder.refresh_neighbor_table();
+  holder.router().send(std::move(offer));
+  // End-to-end retry: per-hop ARQ absorbs single losses, but a fully dropped
+  // offer must not strand the cell at its adopter forever. Ownership flips
+  // only on delivery, so duplicate offers are harmless.
+  if (attempt + 1 >= kMaxAttempts) return;
+  ctx().simulator->in(config().robot_faults.heartbeat_period,
+                      [this, cell, attempt] { offer_return(cell, attempt + 1); });
+}
+
+void FixedDistributedAlgorithm::apply_return(robot::RobotNode& robot, const Packet& pkt) {
+  const auto& body = std::get<net::OwnershipTransferPayload>(pkt.payload);
+  const auto cell = static_cast<std::size_t>(body.cell);
+  const std::size_t mine = robot_index(robot.id());
+  if (cell >= owner_.size() || body.to_owner != robot.id()) return;
+  if (owner_[cell] == mine) return;  // duplicate offer (retry raced the ack)
+  owner_[cell] = mine;
+  ++fault_stats_.ownership_transfers;
+  trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
+                               "robot %u took subarea %zu back from robot %u",
+                               robot.id(), cell, pkt.src);
+  // Ownership flood for the returned cell (same analytic accounting as the
+  // adoption flood) teaching its sensors who their robot is again.
+  ctx().medium->account(metrics::MessageCategory::kFaultTolerance,
+                        1 + static_cast<std::uint64_t>(ctx().field->size()));
+  const auto seq = robot.next_update_seq();
+  auto& field = *ctx().field;
+  for (std::size_t s = 0; s < field.size(); ++s) {
+    auto& sensor = field.node(static_cast<NodeId>(s));
+    if (!sensor.alive()) continue;
+    if (subarea_of(sensor.position()) != cell) continue;
+    sensor.learn_robot(robot.id(), robot.position(), seq);
+    sensor.set_myrobot(robot.id());
+  }
+  // Confirmation ack back to the adopter (real traffic; informational only —
+  // the shared owner map is already consistent).
+  Packet ack;
+  ack.type = PacketType::kOwnershipTransfer;
+  ack.dst = pkt.src;
+  ack.dst_location = robot_at(robot_index(pkt.src)).position();
+  ack.payload = net::OwnershipTransferPayload{body.cell, robot.id(), robot.position(),
+                                              body.transfer_seq, true};
+  robot.refresh_neighbor_table();
+  robot.router().send(std::move(ack));
 }
 
 }  // namespace sensrep::core

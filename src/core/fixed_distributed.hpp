@@ -47,13 +47,29 @@ class FixedDistributedAlgorithm final : public CoordinationAlgorithm {
   /// robot owned and floods the ownership update.
   void on_robot_presumed_dead(std::size_t index) override;
 
+  /// Repair/return: every subarea the reborn robot originally owned (cell i
+  /// belongs to robot i) is returned by its adopter via a real
+  /// kOwnershipTransfer exchange — ownership flips only when the offer is
+  /// delivered, and undelivered offers are retried on a timer.
+  void on_robot_rejoin(std::size_t index) override;
+
  private:
   [[nodiscard]] std::size_t subarea_of(geometry::Vec2 p) const {
     return partition_->cell_of(p);
   }
 
+  /// Geo-routes one ownership-return offer for `cell` from its current
+  /// adopter to the cell's original owner; re-arms itself until the transfer
+  /// is applied or the attempt budget runs out.
+  void offer_return(std::size_t cell, std::size_t attempt);
+
+  /// Delivered kOwnershipTransfer at the original owner: take the cell back,
+  /// teach its sensors, and ack the adopter.
+  void apply_return(robot::RobotNode& robot, const net::Packet& pkt);
+
   std::unique_ptr<geometry::Partition> partition_;
   std::vector<std::size_t> owner_;  // cell -> fleet index (identity by default)
+  std::uint32_t transfer_seq_ = 0;  // ownership-offer retry dedup
 };
 
 }  // namespace sensrep::core

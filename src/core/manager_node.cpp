@@ -45,4 +45,11 @@ void ManagerNode::fail() {
   medium_->set_alive(id_, false);
 }
 
+void ManagerNode::repair() {
+  if (!failed_) return;
+  failed_ = false;
+  medium_->set_alive(id_, true);
+  refresh_neighbor_table();
+}
+
 }  // namespace sensrep::core

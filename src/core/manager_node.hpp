@@ -35,6 +35,11 @@ class ManagerNode {
   /// manager's heartbeat lease expires.
   void fail();
 
+  /// Resurrects a failed manager (MTTR model): reattaches it to the radio
+  /// medium and rebuilds its neighbor view. The algorithm notices at the next
+  /// supervision sweep and performs the acting-manager handback. Idempotent.
+  void repair();
+
   /// Refreshes the manager's one-hop view (alive nodes within its TX range;
   /// oracle discovery, same abstraction as RobotNode — see DESIGN.md).
   void refresh_neighbor_table();

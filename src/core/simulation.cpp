@@ -1,5 +1,6 @@
 #include "core/simulation.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "metrics/summary.hpp"
@@ -63,32 +64,61 @@ Simulation::Simulation(const SimulationConfig& config) : config_(config) {
   field_->start();
 
   // Fault injection: schedule robot deaths (one spontaneous draw per robot
-  // plus any scheduled crashes) and the optional manager crash. Everything
-  // here — including the RNG fork — happens only when the fault model is
-  // enabled, so the default configuration replays byte-identical traces.
+  // plus any scheduled crashes), repairs (MTTR draws ride along with each
+  // death; scheduled repairs are fixed times), and the optional manager
+  // crash/repair. Everything here — including the RNG forks — happens only
+  // when the fault model is enabled, so the default configuration replays
+  // byte-identical traces.
   const auto& faults = config_.robot_faults;
   if (faults.enabled()) {
     algo_->start_fault_tolerance();
-    const auto kill_robot = [this](std::size_t index) {
-      auto& r = *robots_[index];
-      if (r.failed()) return;
-      const std::size_t lost = r.fail();
-      algo_->on_robot_failed(r, lost);
-    };
+    if (std::isfinite(faults.mttr)) repair_rng_.emplace(master.fork("robot-repairs"));
     if (faults.spontaneous()) {
-      auto fault_rng = master.fork("robot-faults");
+      fault_rng_.emplace(master.fork("robot-faults"));
       for (std::size_t i = 0; i < config_.robots; ++i) {
-        const double at = faults.draw(fault_rng);
-        if (at < config_.sim_duration) sim_.at(at, [kill_robot, i] { kill_robot(i); });
+        const double at = faults.draw(*fault_rng_);
+        if (at < config_.sim_duration) sim_.at(at, [this, i] { kill_robot(i); });
       }
     }
     for (const auto& crash : faults.crashes) {
       const std::size_t i = crash.robot;
-      sim_.at(crash.at, [kill_robot, i] { kill_robot(i); });
+      sim_.at(crash.at, [this, i] { kill_robot(i); });
+    }
+    for (const auto& rep : faults.repairs) {
+      const std::size_t i = rep.robot;
+      sim_.at(rep.at, [this, i] { revive_robot(i); });
     }
     if (faults.manager_crash_at) {
       sim_.at(*faults.manager_crash_at, [this] { algo_->fail_manager(); });
     }
+    if (faults.manager_repair_at) {
+      sim_.at(*faults.manager_repair_at, [this] { algo_->repair_manager(); });
+    }
+  }
+}
+
+void Simulation::kill_robot(std::size_t index) {
+  auto& r = *robots_[index];
+  if (r.failed()) return;
+  const std::size_t lost = r.fail();
+  algo_->on_robot_failed(r, lost);
+  // MTTR: draw how long the unit stays out of service and schedule its
+  // return (only when it lands inside the mission).
+  if (repair_rng_) {
+    const double at = sim_.now() + config_.robot_faults.draw_repair(*repair_rng_);
+    if (at < config_.sim_duration) sim_.at(at, [this, index] { revive_robot(index); });
+  }
+}
+
+void Simulation::revive_robot(std::size_t index) {
+  auto& r = *robots_[index];
+  if (!r.failed()) return;
+  r.repair();  // runs the algorithm's rejoin path via the policy hook
+  // A repaired unit ages anew: with spontaneous failures on, draw its next
+  // time-to-failure so the fleet cycles toward MTBF/(MTBF+MTTR) availability.
+  if (fault_rng_) {
+    const double at = sim_.now() + config_.robot_faults.draw(*fault_rng_);
+    if (at < config_.sim_duration) sim_.at(at, [this, index] { kill_robot(index); });
   }
 }
 
@@ -170,6 +200,10 @@ ExperimentResult Simulation::result() const {
   r.redispatches = faults.redispatches;
   r.failover_events = faults.failovers;
   r.adoptions = faults.adoptions;
+  r.robot_repairs = faults.robot_repairs;
+  r.elections = faults.elections;
+  r.handbacks = faults.handbacks;
+  r.ownership_transfers = faults.ownership_transfers;
   return r;
 }
 
@@ -203,6 +237,12 @@ std::string ExperimentResult::summary() const {
         "  faults robots=%zu lost=%zu orphaned=%zu redispatch=%zu failover=%zu adopt=%zu\n",
         robot_failures, tasks_lost, orphaned_tasks, redispatches, failover_events,
         adoptions);
+  }
+  // Recovery line, same rule: only when the MTTR machinery actually ran.
+  if (robot_repairs > 0 || elections > 0 || handbacks > 0 || ownership_transfers > 0) {
+    out << trace::strfmt(
+        "  repairs robots=%zu elections=%zu handback=%zu ownership=%zu\n",
+        robot_repairs, elections, handbacks, ownership_transfers);
   }
   return out.str();
 }

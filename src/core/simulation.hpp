@@ -2,6 +2,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,10 @@ struct ExperimentResult {
   std::size_t redispatches = 0;     // in-flight tasks re-sent after lease expiry
   std::size_t failover_events = 0;  // manager failovers (centralized)
   std::size_t adoptions = 0;        // subareas adopted from dead robots (fixed)
+  std::size_t robot_repairs = 0;        // robots resurrected (MTTR ground truth)
+  std::size_t elections = 0;            // real election rounds run (centralized)
+  std::size_t handbacks = 0;            // acting manager -> repaired manager
+  std::size_t ownership_transfers = 0;  // kOwnershipTransfer deliveries applied
 
   // Transmission counters snapshot, indexed by MessageCategory.
   std::array<std::uint64_t, static_cast<std::size_t>(metrics::MessageCategory::kCount)>
@@ -120,6 +125,15 @@ class Simulation {
   }
 
  private:
+  /// Fault injection: kills robot `index` (no-op if already dead) and, with
+  /// a finite MTTR, draws and schedules its repair.
+  void kill_robot(std::size_t index);
+
+  /// MTTR model: resurrects robot `index` (no-op if alive) and, with
+  /// spontaneous failures on, draws its next time-to-failure — the fleet
+  /// cycles through fail/repair and reaches steady-state availability.
+  void revive_robot(std::size_t index);
+
   SimulationConfig config_;
   sim::Simulator sim_;
   metrics::TransmissionCounters counters_;
@@ -128,6 +142,11 @@ class Simulation {
   std::unique_ptr<CoordinationAlgorithm> algo_;
   std::unique_ptr<wsn::SensorField> field_;
   std::vector<std::unique_ptr<robot::RobotNode>> robots_;
+
+  // Fault-model RNG streams, seeded only when the respective model is on so
+  // fault-free (and repair-free) runs draw nothing extra.
+  std::optional<sim::Rng> fault_rng_;   // times-to-failure (initial + post-repair)
+  std::optional<sim::Rng> repair_rng_;  // times-to-repair
 };
 
 }  // namespace sensrep::core

@@ -15,6 +15,9 @@ std::string_view to_string(PacketType t) noexcept {
     case PacketType::kReportAck: return "report_ack";
     case PacketType::kTaskComplete: return "task_complete";
     case PacketType::kManagerHeartbeat: return "manager_heartbeat";
+    case PacketType::kElection: return "election";
+    case PacketType::kElectionAck: return "election_ack";
+    case PacketType::kOwnershipTransfer: return "ownership_transfer";
   }
   return "?";
 }
@@ -33,6 +36,9 @@ metrics::MessageCategory category_of(PacketType t) noexcept {
     case PacketType::kReportAck: return MessageCategory::kFailureReport;
     case PacketType::kTaskComplete: return MessageCategory::kFaultTolerance;
     case PacketType::kManagerHeartbeat: return MessageCategory::kFaultTolerance;
+    case PacketType::kElection: return MessageCategory::kFaultTolerance;
+    case PacketType::kElectionAck: return MessageCategory::kFaultTolerance;
+    case PacketType::kOwnershipTransfer: return MessageCategory::kFaultTolerance;
   }
   return MessageCategory::kOther;
 }
@@ -53,6 +59,9 @@ std::size_t Packet::size_bytes() const noexcept {
     case PacketType::kReportAck: return kHeader + 8;
     case PacketType::kTaskComplete: return kHeader + 16;
     case PacketType::kManagerHeartbeat: return kHeader + 20;
+    case PacketType::kElection: return kHeader + 24;
+    case PacketType::kElectionAck: return kHeader + 12;
+    case PacketType::kOwnershipTransfer: return kHeader + 24;
   }
   return kHeader;
 }

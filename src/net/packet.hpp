@@ -24,6 +24,9 @@ enum class PacketType : std::uint8_t {
   kReportAck,            // manager -> reporting guardian (reliable reports)
   kTaskComplete,         // maintainer -> manager: repair done, close in-flight entry
   kManagerHeartbeat,     // manager liveness flood (robot fault tolerance)
+  kElection,             // failover winner -> each live robot: "I am acting manager"
+  kElectionAck,          // live robot -> winner: election acknowledged
+  kOwnershipTransfer,    // subarea ownership move (adoption return / handback)
 };
 
 [[nodiscard]] std::string_view to_string(PacketType t) noexcept;
@@ -89,11 +92,27 @@ struct ManagerHeartbeatPayload {
   std::uint32_t heartbeat_seq = 0;  // flood dedup
 };
 
+struct ElectionPayload {
+  NodeId winner = kNoNode;          // acting manager announcing itself
+  geometry::Vec2 winner_location;   // where to send manager-plane traffic now
+  std::uint32_t election_seq = 0;   // per-winner sequence (ack correlation)
+  bool ack = false;                 // true => kElectionAck reply
+};
+
+struct OwnershipTransferPayload {
+  std::uint32_t cell = 0;             // subarea index changing hands
+  NodeId to_owner = kNoNode;          // new owner robot (or resurrected manager)
+  geometry::Vec2 to_owner_location;   // where the new owner sits
+  std::uint32_t transfer_seq = 0;     // per-sender sequence (retry dedup)
+  bool ack = false;                   // true => delivery acknowledgement
+};
+
 using Payload =
     std::variant<BeaconPayload, LocationAnnouncePayload, GuardianConfirmPayload,
                  FailureReportPayload, RepairRequestPayload, LocationUpdatePayload,
                  ReplacementAnnouncePayload, DataPayload, ReportAckPayload,
-                 TaskCompletePayload, ManagerHeartbeatPayload>;
+                 TaskCompletePayload, ManagerHeartbeatPayload, ElectionPayload,
+                 OwnershipTransferPayload>;
 
 // --- Geographic routing header ---------------------------------------------
 

@@ -5,6 +5,25 @@
 
 namespace sensrep::robot {
 
+namespace {
+
+/// Draws from Exp(mean) or Weibull with E[X] = mean and the given shape.
+double draw_with_mean(sim::Rng& rng, FaultDistribution d, double mean, double shape) {
+  switch (d) {
+    case FaultDistribution::kExponential:
+      return rng.exponential(mean);
+    case FaultDistribution::kWeibull: {
+      // Scale chosen so E[X] = lambda * Gamma(1 + 1/k) == mean.
+      const double lambda = mean / std::tgamma(1.0 + 1.0 / shape);
+      const double u = rng.uniform01();
+      return lambda * std::pow(-std::log(1.0 - u), 1.0 / shape);
+    }
+  }
+  return mean;
+}
+
+}  // namespace
+
 std::string_view to_string(FaultDistribution d) noexcept {
   switch (d) {
     case FaultDistribution::kExponential: return "exponential";
@@ -15,8 +34,13 @@ std::string_view to_string(FaultDistribution d) noexcept {
 
 bool FaultConfig::spontaneous() const noexcept { return std::isfinite(mtbf); }
 
+bool FaultConfig::repairs_enabled() const noexcept {
+  return std::isfinite(mttr) || !repairs.empty() || manager_repair_at.has_value();
+}
+
 bool FaultConfig::enabled() const noexcept {
-  return spontaneous() || !crashes.empty() || manager_crash_at.has_value();
+  return spontaneous() || !crashes.empty() || manager_crash_at.has_value() ||
+         repairs_enabled();
 }
 
 void FaultConfig::validate() const {
@@ -26,11 +50,31 @@ void FaultConfig::validate() const {
   if (distribution == FaultDistribution::kWeibull && weibull_shape <= 0.0) {
     throw std::invalid_argument("FaultConfig: weibull_shape must be positive");
   }
+  if (!(mttr > 0.0)) {  // rejects NaN, zero, and negatives; +inf passes
+    throw std::invalid_argument("FaultConfig: mttr must be positive (inf = disabled)");
+  }
+  if (repair_distribution == FaultDistribution::kWeibull && repair_weibull_shape <= 0.0) {
+    throw std::invalid_argument("FaultConfig: repair_weibull_shape must be positive");
+  }
   for (const auto& c : crashes) {
     if (c.at < 0.0) throw std::invalid_argument("FaultConfig: crash time must be >= 0");
   }
+  for (const auto& r : repairs) {
+    if (r.at < 0.0) throw std::invalid_argument("FaultConfig: repair time must be >= 0");
+  }
   if (manager_crash_at && *manager_crash_at < 0.0) {
     throw std::invalid_argument("FaultConfig: manager_crash_at must be >= 0");
+  }
+  if (manager_repair_at && *manager_repair_at < 0.0) {
+    throw std::invalid_argument("FaultConfig: manager_repair_at must be >= 0");
+  }
+  if (manager_repair_at && !manager_crash_at) {
+    throw std::invalid_argument(
+        "FaultConfig: manager_repair_at requires manager_crash_at (nothing to repair)");
+  }
+  if (manager_repair_at && *manager_repair_at <= *manager_crash_at) {
+    throw std::invalid_argument(
+        "FaultConfig: manager_repair_at must come after manager_crash_at");
   }
   if (enabled()) {
     if (heartbeat_period <= 0.0) {
@@ -43,18 +87,11 @@ void FaultConfig::validate() const {
 }
 
 double FaultConfig::draw(sim::Rng& rng) const {
-  switch (distribution) {
-    case FaultDistribution::kExponential:
-      return rng.exponential(mtbf);
-    case FaultDistribution::kWeibull: {
-      // Scale chosen so E[X] = lambda * Gamma(1 + 1/k) == mtbf.
-      const double k = weibull_shape;
-      const double lambda = mtbf / std::tgamma(1.0 + 1.0 / k);
-      const double u = rng.uniform01();
-      return lambda * std::pow(-std::log(1.0 - u), 1.0 / k);
-    }
-  }
-  return mtbf;
+  return draw_with_mean(rng, distribution, mtbf, weibull_shape);
+}
+
+double FaultConfig::draw_repair(sim::Rng& rng) const {
+  return draw_with_mean(rng, repair_distribution, mttr, repair_weibull_shape);
 }
 
 }  // namespace sensrep::robot

@@ -32,6 +32,13 @@ struct ScheduledCrash {
   sim::SimTime at = 0.0;
 };
 
+/// One deterministic resurrection for tests and benches: robot `robot` comes
+/// back into service at absolute simulation time `at` (no-op if it is alive).
+struct ScheduledRepair {
+  std::size_t robot = 0;
+  sim::SimTime at = 0.0;
+};
+
 /// Robot fault model plus the detection-side knobs (heartbeats and leases).
 ///
 /// Strictly opt-in: with the default configuration (`mtbf = ∞`, no scheduled
@@ -55,6 +62,25 @@ struct FaultConfig {
   /// algorithms, which have no manager node.
   std::optional<sim::SimTime> manager_crash_at;
 
+  // --- repair / return (MTTR) ----------------------------------------------
+
+  /// Mean time to repair, seconds: how long a failed robot stays out of
+  /// service before it resurrects at its depot (if configured) or park
+  /// position and rejoins. Infinity (the default) keeps the pre-MTTR pure
+  /// decay model: a dead robot never comes back. With a finite MTTR the
+  /// fleet reaches steady-state availability MTBF / (MTBF + MTTR).
+  double mttr = std::numeric_limits<double>::infinity();
+  FaultDistribution repair_distribution = FaultDistribution::kExponential;
+  double repair_weibull_shape = 3.0;  // only for kWeibull repairs
+
+  /// Deterministic resurrections (for tests/benches); applied in addition to
+  /// any spontaneous MTTR draws.
+  std::vector<ScheduledRepair> repairs;
+
+  /// Centralized only: resurrects the dedicated manager at this time. The
+  /// acting manager hands the role back at the next supervision sweep.
+  std::optional<sim::SimTime> manager_repair_at;
+
   /// Liveness heartbeat period, seconds. While the fault model is enabled
   /// every robot re-announces its location on this period even when parked
   /// (a parked robot emits no movement-leg updates, so without heartbeats a
@@ -67,7 +93,20 @@ struct FaultConfig {
   /// update interval. >= 2 tolerates one lost/late heartbeat.
   double lease_multiplier = 3.0;
 
+  /// Auto-tune each robot's lease window from its *observed* update cadence
+  /// (EWMA of inter-refresh intervals): a robot that updates every movement
+  /// leg (~20 s at 1 m/s) is presumed dead much sooner than a parked one
+  /// that only heartbeats. The tuned window is
+  /// `lease_multiplier * EWMA_cadence`, clamped to
+  /// [2 * heartbeat_period, lease_window()] so it never drops below one
+  /// tolerated-lost-heartbeat and never exceeds the configured window.
+  bool lease_auto_tune = false;
+
   [[nodiscard]] bool spontaneous() const noexcept;
+
+  /// True when failed robots can come back: a finite MTTR, scheduled repair
+  /// entries, or a scheduled manager repair.
+  [[nodiscard]] bool repairs_enabled() const noexcept;
 
   /// True when any fault source is configured; everything the subsystem adds
   /// (heartbeats, leases, supervision, re-reports) is gated on this.
@@ -80,6 +119,9 @@ struct FaultConfig {
 
   /// Draws one time-to-failure. Requires spontaneous().
   [[nodiscard]] double draw(sim::Rng& rng) const;
+
+  /// Draws one time-to-repair. Requires a finite mttr.
+  [[nodiscard]] double draw_repair(sim::Rng& rng) const;
 
   /// Throws std::invalid_argument on out-of-range parameters.
   void validate() const;

@@ -86,6 +86,22 @@ std::size_t RobotNode::fail() {
   return lost;
 }
 
+void RobotNode::repair() {
+  if (!failed_) return;
+  failed_ = false;
+  if (config_.depot) {
+    pos_ = *config_.depot;
+    spares_ = config_.spares;  // the repair happened at the depot: restocked
+    medium_->set_position(id_, pos_);
+  }
+  medium_->set_alive(id_, true);
+  refresh_neighbor_table();
+  trace::Logger::global().logf(trace::Level::kInfo, sim_->now(), "robot",
+                               "robot %u repaired; back in service at (%.0f, %.0f)", id_,
+                               pos_.x, pos_.y);
+  policy_->on_robot_repaired(*this);
+}
+
 void RobotNode::enqueue(const RepairTask& task) {
   if (failed_) return;  // dead robots accept no work
   if ((current_ && current_->slot == task.slot) || queue_.contains_slot(task.slot)) {

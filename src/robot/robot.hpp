@@ -48,6 +48,12 @@ class RobotPolicy {
   /// dropped its queue. Ground-truth hook for bookkeeping only — recovery
   /// must wait for lease expiry, which is how the system *detects* the death.
   virtual void on_robot_failed(RobotNode& /*robot*/, std::size_t /*tasks_lost*/) {}
+
+  /// The robot was repaired and rejoined service (MTTR model): its radio is
+  /// back on and it is idle at its resurrection position. Policies restart
+  /// the heartbeat and run the algorithm's rejoin path (re-admission,
+  /// ownership return, reflood). Default: nothing.
+  virtual void on_robot_repaired(RobotNode& /*robot*/) {}
 };
 
 /// A mobile maintainer: picks, carries, and unloads sensor units
@@ -141,6 +147,14 @@ class RobotNode {
   /// whole queue. Returns the number of tasks lost (served FCFS no more).
   /// Idempotent; a failed robot ignores enqueue/drive_to/packets.
   std::size_t fail();
+
+  /// Resurrects a failed robot (MTTR model): the repaired unit comes back
+  /// into service at its depot (if configured — the repair happened there,
+  /// so spares are also restocked) or in place at its park position. The
+  /// radio comes back up and the neighbor table is rebuilt; the policy's
+  /// on_robot_repaired hook restarts heartbeats and runs the algorithm's
+  /// rejoin path. Idempotent: a live robot ignores repair().
+  void repair();
 
  private:
   void start_next_task();

@@ -391,6 +391,11 @@ void SensorNode::on_packet(const Packet& pkt, NodeId from) {
     case PacketType::kData:
     case PacketType::kReportAck:
     case PacketType::kTaskComplete:
+    case PacketType::kElection:
+    case PacketType::kElectionAck:
+    case PacketType::kOwnershipTransfer:
+      // Robot-plane unicasts (election, ownership handover): sensors only
+      // forward them along the geo-route.
       router_->on_receive(pkt, from);
       break;
   }

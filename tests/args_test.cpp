@@ -103,5 +103,27 @@ TEST(ArgsTest, RejectUnknownPassesWhenAllDeclared) {
   EXPECT_NO_THROW(args.reject_unknown());
 }
 
+TEST(ValidateCrashTimes, RejectsEventsAtOrPastDuration) {
+  // A crash or repair scheduled at t >= duration silently never fires; the
+  // shared validator turns that misconfiguration into a hard error.
+  EXPECT_THROW(validate_crash_times("robot-crash", {100.0, 8000.0}, 8000.0),
+               std::invalid_argument);
+  EXPECT_THROW(validate_crash_times("manager-crash", {9000.0}, 8000.0),
+               std::invalid_argument);
+  try {
+    validate_crash_times("robot-repair", {8500.0}, 8000.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message names the offending flag so the user can find it.
+    EXPECT_NE(std::string(e.what()).find("robot-repair"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("duration"), std::string::npos);
+  }
+}
+
+TEST(ValidateCrashTimes, AcceptsInRangeAndEmpty) {
+  EXPECT_NO_THROW(validate_crash_times("robot-crash", {}, 8000.0));
+  EXPECT_NO_THROW(validate_crash_times("robot-crash", {0.0, 100.0, 7999.9}, 8000.0));
+}
+
 }  // namespace
 }  // namespace sensrep::tools

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/centralized.hpp"
 #include "core/fixed_distributed.hpp"
@@ -95,6 +97,89 @@ TEST(FaultConfig, SimulationConfigCrossValidation) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
   cfg.robot_faults.crashes.clear();
   cfg.robot_faults.manager_crash_at = 100.0;  // needs the centralized algorithm
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.algorithm = Algorithm::kCentralized;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+// --- FaultConfig: repair / return (MTTR) -----------------------------------------
+
+TEST(FaultConfig, RepairsDisabledByDefault) {
+  robot::FaultConfig f;
+  EXPECT_FALSE(f.repairs_enabled());
+  f.mtbf = 16000.0;  // pure-decay fault model: deaths without resurrections
+  EXPECT_TRUE(f.enabled());
+  EXPECT_FALSE(f.repairs_enabled());
+}
+
+TEST(FaultConfig, AnyRepairSourceEnablesRepairsAndTheSubsystem) {
+  robot::FaultConfig mttr;
+  mttr.mtbf = 16000.0;
+  mttr.mttr = 2000.0;
+  EXPECT_TRUE(mttr.repairs_enabled());
+  EXPECT_TRUE(mttr.enabled());
+
+  robot::FaultConfig scheduled;
+  scheduled.repairs.push_back({0, 500.0});
+  EXPECT_TRUE(scheduled.repairs_enabled());
+  EXPECT_TRUE(scheduled.enabled());  // a repair schedule arms the machinery too
+
+  robot::FaultConfig mgr;
+  mgr.manager_crash_at = 100.0;
+  mgr.manager_repair_at = 500.0;
+  EXPECT_TRUE(mgr.repairs_enabled());
+  EXPECT_NO_THROW(mgr.validate());
+}
+
+TEST(FaultConfig, ValidateRejectsBadRepairParameters) {
+  robot::FaultConfig f;
+  f.mttr = 0.0;  // zero repair time is degenerate, not "disabled"
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f.mttr = std::nan("");
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f.mttr = std::numeric_limits<double>::infinity();  // the "disabled" spelling
+  EXPECT_NO_THROW(f.validate());
+
+  f.mttr = 2000.0;
+  f.repair_distribution = robot::FaultDistribution::kWeibull;
+  f.repair_weibull_shape = 0.0;
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f.repair_weibull_shape = 3.0;
+  EXPECT_NO_THROW(f.validate());
+
+  f.repairs.push_back({0, -1.0});  // repairs before t=0 cannot fire
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f.repairs.clear();
+
+  f.manager_repair_at = 500.0;  // a manager repair needs a manager crash...
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f.manager_crash_at = 1000.0;  // ...and must come after it
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f.manager_crash_at = 100.0;
+  EXPECT_NO_THROW(f.validate());
+}
+
+TEST(FaultConfig, DrawRepairMeansMatchMttrForBothDistributions) {
+  for (const auto dist :
+       {robot::FaultDistribution::kExponential, robot::FaultDistribution::kWeibull}) {
+    robot::FaultConfig f;
+    f.repair_distribution = dist;
+    f.mttr = 2000.0;
+    sim::Rng rng(123);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += f.draw_repair(rng);
+    EXPECT_NEAR(sum / n, f.mttr, f.mttr * 0.05) << to_string(dist);
+  }
+}
+
+TEST(FaultConfig, SimulationConfigCrossValidatesRepairs) {
+  auto cfg = base_config(Algorithm::kDynamicDistributed, 1, 1000.0);
+  cfg.robot_faults.repairs.push_back({cfg.robots, 100.0});  // index out of range
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.robot_faults.repairs.clear();
+  cfg.robot_faults.manager_crash_at = 100.0;
+  cfg.robot_faults.manager_repair_at = 500.0;  // centralized-only pair
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
   cfg.algorithm = Algorithm::kCentralized;
   EXPECT_NO_THROW(cfg.validate());
@@ -207,6 +292,87 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ChaosRecovery,
                            return std::string(to_string(param_info.param));
                          });
 
+// --- Chaos with resurrection: robots die AND come back mid-run -------------------
+
+class ChaosResurrection : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(ChaosResurrection, EveryFailureRepairedWithDeathsAndRebirths) {
+  // Same staggered-death storm as ChaosRecovery, but each dead robot is
+  // repaired a few thousand seconds later and must rejoin service through its
+  // algorithm's return path (re-admission / ownership return / reflood). A
+  // lossy radio stresses the retry logic in every exchange.
+  auto cfg = base_config(GetParam(), 11, 16000.0);
+  cfg.field.spontaneous_failures = false;  // injected failures only
+  cfg.radio.loss_probability = 0.1;        // rejoin traffic must survive loss
+  cfg.robot_faults.crashes = {{0, 1200.0}, {1, 2400.0}, {2, 3600.0}};
+  cfg.robot_faults.repairs = {{0, 5200.0}, {1, 6400.0}, {2, 7600.0}};
+  Simulation s(cfg);
+
+  std::vector<net::NodeId> victims;
+  for (net::NodeId id = 0; id < s.field().size() && victims.size() < 12; ++id) {
+    const auto p = s.field().node(id).position();
+    bool spread = true;
+    for (const auto v : victims) {
+      spread = spread && geometry::distance(p, s.field().node(v).position()) >
+                             cfg.field.sensor_tx_range;
+    }
+    if (spread) victims.push_back(id);
+  }
+  ASSERT_GE(victims.size(), 8u);
+
+  // Wave one lands on the full fleet, wave two while three robots are dead,
+  // wave three after everyone is back.
+  s.run_until(600.0);
+  for (std::size_t i = 0; i < victims.size() / 3; ++i) s.field().fail_slot(victims[i]);
+  s.run_until(4000.0);
+  for (std::size_t i = victims.size() / 3; i < 2 * victims.size() / 3; ++i) {
+    s.field().fail_slot(victims[i]);
+  }
+  s.run_until(9000.0);
+  for (std::size_t i = 2 * victims.size() / 3; i < victims.size(); ++i) {
+    s.field().fail_slot(victims[i]);
+  }
+  s.run();
+
+  const auto r = s.result();
+  EXPECT_EQ(r.robot_failures, 3u);
+  EXPECT_EQ(r.robot_repairs, 3u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(s.robots()[i]->failed()) << "robot " << i << " still down at the end";
+  }
+  ASSERT_EQ(r.failures, victims.size());
+  EXPECT_EQ(r.detected, r.failures);
+  EXPECT_EQ(r.repaired, r.failures)
+      << "unrepaired failures survived the death+rebirth storm";
+  for (const auto& rec : s.failure_log().records()) {
+    EXPECT_TRUE(rec.repaired()) << "slot " << rec.node_id << " never repaired";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ChaosResurrection,
+                         ::testing::Values(Algorithm::kCentralized,
+                                           Algorithm::kFixedDistributed,
+                                           Algorithm::kDynamicDistributed),
+                         [](const ::testing::TestParamInfo<Algorithm>& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+TEST(ChaosAvailability, SpontaneousMtbfMttrCyclesRobotsBackIntoService) {
+  // With finite MTBF and a short MTTR the fleet cycles dead -> repaired:
+  // every death inside the horizon whose repair draw also lands inside it
+  // comes back (repairs can only trail failures).
+  auto cfg = base_config(Algorithm::kDynamicDistributed, 19, 16000.0);
+  cfg.robot_faults.mtbf = 4000.0;
+  cfg.robot_faults.mttr = 800.0;
+  Simulation s(cfg);
+  s.run();
+  const auto r = s.result();
+  EXPECT_GE(r.robot_failures, 1u);
+  EXPECT_GE(r.robot_repairs, 1u);
+  EXPECT_LE(r.robot_repairs, r.robot_failures);
+  EXPECT_NE(r.summary().find("repairs"), std::string::npos);
+}
+
 // --- Centralized: lease-expiry redispatch and manager failover -------------------
 
 TEST(CentralizedRecovery, LeaseExpiryRedispatchesInFlightTasks) {
@@ -235,6 +401,7 @@ TEST(CentralizedRecovery, ManagerFailoverPromotesLowestLiveRobot) {
   s.run();
   const auto r = s.result();
   EXPECT_EQ(r.failover_events, 1u);
+  EXPECT_EQ(r.elections, 1u);  // one real kElection round, not an analytic charge
   const auto* algo = dynamic_cast<const CentralizedAlgorithm*>(&s.algorithm());
   ASSERT_NE(algo, nullptr);
   ASSERT_TRUE(algo->acting_manager().has_value());
@@ -261,6 +428,100 @@ TEST(CentralizedRecovery, FailoverSkipsDeadRobots) {
   EXPECT_EQ(*algo->acting_manager(), 1u);  // 0 is dead; next index promotes
 }
 
+TEST(CentralizedRecovery, AllDeadFleetRunsNoElectionAndPaysForNone) {
+  // The satellite bugfix: failover used to charge robot_count() election
+  // messages before checking whether any live robot existed. With the whole
+  // fleet (and the manager) dead, the fault-tolerance message counter must
+  // freeze and no election may be recorded.
+  auto cfg = base_config(Algorithm::kCentralized, 3, 6000.0);
+  cfg.robots = 3;
+  cfg.field.spontaneous_failures = false;
+  cfg.robot_faults.crashes = {{0, 500.0}, {1, 500.0}, {2, 500.0}};
+  cfg.robot_faults.manager_crash_at = 1500.0;
+  Simulation s(cfg);
+  // By 2500 s every node is dead and every lease (robot and manager) has
+  // expired; the failed failover attempt has already happened at least once.
+  s.run_until(2500.0);
+  const auto mid = s.result();
+  const auto frozen = mid.tx(metrics::MessageCategory::kFaultTolerance);
+  s.run();
+  const auto r = s.result();
+  EXPECT_EQ(r.failover_events, 0u);
+  EXPECT_EQ(r.elections, 0u);
+  EXPECT_EQ(r.tx(metrics::MessageCategory::kFaultTolerance), frozen)
+      << "a dead fleet kept paying fault-tolerance messages";
+}
+
+TEST(CentralizedRecovery, RepairedManagerGetsTheRoleBackWithoutLosingTasks) {
+  // Manager dies at 2000 s, a robot is promoted, the manager is repaired at
+  // 4000 s. The acting manager must hand the role back via a real
+  // kOwnershipTransfer exchange — and in-flight tasks dispatched under the
+  // acting manager must survive the handback and complete.
+  auto cfg = base_config(Algorithm::kCentralized, 7, 12000.0);
+  cfg.field.spontaneous_failures = false;
+  cfg.robot_faults.manager_crash_at = 2000.0;
+  cfg.robot_faults.manager_repair_at = 4000.0;
+  Simulation s(cfg);
+  // Failures injected while the acting manager holds the role: their tasks
+  // are in flight (or queued) across the handback boundary.
+  s.run_until(3800.0);
+  for (net::NodeId id = 0; id < 8; ++id) {
+    s.field().fail_slot(static_cast<net::NodeId>(id * 23));
+  }
+  s.run();
+  const auto r = s.result();
+  EXPECT_EQ(r.failover_events, 1u);
+  EXPECT_EQ(r.elections, 1u);
+  EXPECT_EQ(r.handbacks, 1u);
+  EXPECT_GE(r.ownership_transfers, 1u);
+  const auto* algo = dynamic_cast<const CentralizedAlgorithm*>(&s.algorithm());
+  ASSERT_NE(algo, nullptr);
+  EXPECT_FALSE(algo->acting_manager().has_value())
+      << "the repaired manager never got the role back";
+  EXPECT_EQ(r.repaired, r.failures) << "tasks were lost across the handback";
+  EXPECT_EQ(algo->in_flight_count(), 0u);
+}
+
+TEST(CentralizedRecovery, HandbackSurvivesALossyRadio) {
+  // The handback offer is re-sent every supervision sweep until it is
+  // delivered, so even a heavily lossy radio only delays the role return.
+  auto cfg = base_config(Algorithm::kCentralized, 21, 12000.0);
+  cfg.radio.loss_probability = 0.2;
+  cfg.robot_faults.manager_crash_at = 2000.0;
+  cfg.robot_faults.manager_repair_at = 4000.0;
+  Simulation s(cfg);
+  s.run();
+  const auto r = s.result();
+  EXPECT_EQ(r.handbacks, 1u);
+  const auto* algo = dynamic_cast<const CentralizedAlgorithm*>(&s.algorithm());
+  ASSERT_NE(algo, nullptr);
+  EXPECT_FALSE(algo->acting_manager().has_value());
+}
+
+TEST(CentralizedRecovery, RepairedRobotIsReadmittedToTheDispatchPool) {
+  // Robot dies, its lease expires (presumed dead, out of the candidate set),
+  // then it is repaired and must re-enter the pool via its re-admission
+  // announce: failures injected after the rebirth can be served by it again.
+  auto cfg = base_config(Algorithm::kCentralized, 23, 12000.0);
+  cfg.field.spontaneous_failures = false;
+  cfg.robot_faults.crashes = {{0, 1000.0}, {1, 1000.0}, {2, 1000.0}};
+  cfg.robot_faults.repairs = {{0, 4000.0}, {1, 4000.0}, {2, 4000.0}};
+  Simulation s(cfg);
+  s.run_until(5000.0);
+  for (net::NodeId id = 0; id < 10; ++id) {
+    s.field().fail_slot(static_cast<net::NodeId>(id * 19));
+  }
+  s.run();
+  const auto r = s.result();
+  EXPECT_EQ(r.robot_repairs, 3u);
+  EXPECT_EQ(r.repaired, r.failures);
+  // The reborn robots share the load: the never-failed robot 3 cannot have
+  // served all ten post-rebirth failures alone.
+  std::size_t reborn_repairs = 0;
+  for (std::size_t i = 0; i < 3; ++i) reborn_repairs += s.robots()[i]->repairs_done();
+  EXPECT_GT(reborn_repairs, 0u) << "re-admitted robots never dispatched again";
+}
+
 // --- Fixed distributed: subarea adoption ----------------------------------------
 
 TEST(FixedRecovery, OrphanedSubareaIsAdoptedAndServed) {
@@ -283,6 +544,81 @@ TEST(FixedRecovery, OrphanedSubareaIsAdoptedAndServed) {
   }
   EXPECT_GT(late_repaired, 0u);
   EXPECT_GE(r.repaired, r.failures * 3 / 4);
+}
+
+TEST(FixedRecovery, RepairedOwnerTakesItsSubareaBack) {
+  // Robot 1 dies, its subarea is adopted; at 3000 s it is repaired and must
+  // reclaim the cell via a real kOwnershipTransfer exchange (offer from the
+  // adopter, applied at the reborn owner on delivery, confirmation ack back).
+  auto cfg = base_config(Algorithm::kFixedDistributed, 13, 8000.0);
+  cfg.robot_faults.crashes = {{1, 1500.0}};
+  cfg.robot_faults.repairs = {{1, 3000.0}};
+  Simulation s(cfg);
+  s.run();
+  const auto r = s.result();
+  EXPECT_GE(r.adoptions, 1u);
+  EXPECT_EQ(r.robot_repairs, 1u);
+  EXPECT_GE(r.ownership_transfers, 1u);
+  const auto* algo = dynamic_cast<const FixedDistributedAlgorithm*>(&s.algorithm());
+  ASSERT_NE(algo, nullptr);
+  // Ownership is back to the identity mapping: every cell with its own robot.
+  for (std::size_t cell = 0; cell < algo->owners().size(); ++cell) {
+    EXPECT_EQ(algo->owners()[cell], cell)
+        << "cell " << cell << " not returned to its original owner";
+  }
+}
+
+TEST(FixedRecovery, OwnershipReturnSurvivesALossyRadio) {
+  // The return offer is retried end-to-end on the heartbeat period (up to 5
+  // attempts); with per-hop ARQ plus those retries a 20% lossy radio must
+  // still converge back to the identity mapping.
+  auto cfg = base_config(Algorithm::kFixedDistributed, 29, 10000.0);
+  cfg.radio.loss_probability = 0.2;
+  cfg.robot_faults.crashes = {{1, 1500.0}};
+  cfg.robot_faults.repairs = {{1, 3000.0}};
+  Simulation s(cfg);
+  s.run();
+  const auto r = s.result();
+  EXPECT_GE(r.ownership_transfers, 1u);
+  const auto* algo = dynamic_cast<const FixedDistributedAlgorithm*>(&s.algorithm());
+  ASSERT_NE(algo, nullptr);
+  for (std::size_t cell = 0; cell < algo->owners().size(); ++cell) {
+    EXPECT_EQ(algo->owners()[cell], cell) << "cell " << cell;
+  }
+}
+
+// --- Lease auto-tuning -----------------------------------------------------------
+
+TEST(LeaseAutoTune, ObservedCadenceTightensTheWindowWithinBounds) {
+  auto cfg = base_config(Algorithm::kDynamicDistributed, 31, 8000.0);
+  cfg.robot_faults.lease_auto_tune = true;
+  cfg.robot_faults.crashes = {{3, 7500.0}};  // arms the fault machinery
+  Simulation s(cfg);
+  s.run_until(7000.0);  // before the crash: all four robots still refreshing
+  const auto& algo = s.algorithm();
+  const double configured = cfg.robot_faults.lease_window();
+  const double floor = 2.0 * cfg.robot_faults.heartbeat_period;
+  double tightest = configured;
+  for (std::size_t i = 0; i < cfg.robots; ++i) {
+    const double w = algo.effective_lease_window(i);
+    EXPECT_GE(w, floor) << "robot " << i << " window under the lost-heartbeat floor";
+    EXPECT_LE(w, configured) << "robot " << i << " window above the configured cap";
+    tightest = std::min(tightest, w);
+  }
+  // Robots moving between repairs update every leg (~20 s), far faster than
+  // the 60 s heartbeat, so at least one window tightened below the default.
+  EXPECT_LT(tightest, configured);
+}
+
+TEST(LeaseAutoTune, DisabledMeansTheConfiguredWindowExactly) {
+  auto cfg = base_config(Algorithm::kDynamicDistributed, 31, 4000.0);
+  cfg.robot_faults.crashes = {{3, 3500.0}};
+  Simulation s(cfg);
+  s.run_until(3000.0);
+  for (std::size_t i = 0; i < cfg.robots; ++i) {
+    EXPECT_DOUBLE_EQ(s.algorithm().effective_lease_window(i),
+                     cfg.robot_faults.lease_window());
+  }
 }
 
 // --- Satellite: the silent task drop is now counted ------------------------------

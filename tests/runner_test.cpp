@@ -259,6 +259,31 @@ TEST(ExecutorDeterminismTest, CsvIsByteIdenticalAcrossWorkerCounts) {
   EXPECT_EQ(serial, parallel);
 }
 
+// Same guarantee with the full fault/repair machinery running: deaths,
+// MTTR resurrections, and the rejoin traffic must replay identically no
+// matter how jobs are spread across workers.
+TEST(ExecutorDeterminismTest, CsvIsByteIdenticalWithRobotFaultsAndRepairs) {
+  auto grid = small_grid();
+  grid.base.robot_faults.mtbf = 1200.0;  // several deaths inside the horizon
+  grid.base.robot_faults.mttr = 300.0;   // and several resurrections
+
+  const auto run_with = [&grid](std::size_t workers) {
+    std::ostringstream out;
+    runner::CsvSink sink(out);
+    runner::ExecutorOptions options;
+    options.jobs = workers;
+    runner::Executor exec(options);
+    const auto batch = exec.run(grid, &sink);
+    EXPECT_TRUE(batch.ok());
+    return out.str();
+  };
+
+  const std::string serial = run_with(1);
+  const std::string parallel = run_with(4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
 TEST(ExecutorDeterminismTest, ResultsMatchDirectSimulationRuns) {
   const auto grid = small_grid();
   const auto jobs = grid.expand();

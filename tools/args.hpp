@@ -105,4 +105,19 @@ class Args {
   std::vector<std::string> known_;
 };
 
+/// Rejects fault-injection event times at or past the run's end: a crash or
+/// repair scheduled at t >= duration silently never fires, which makes fault
+/// experiments easy to misconfigure (the run looks fault-free). `flag` names
+/// the offending option in the error message.
+inline void validate_crash_times(const std::string& flag, const std::vector<double>& times,
+                                 double duration) {
+  for (const double t : times) {
+    if (t >= duration) {
+      throw std::invalid_argument("--" + flag + ": event time " + std::to_string(t) +
+                                  " is at or past --duration " + std::to_string(duration) +
+                                  " and would never fire");
+    }
+  }
+}
+
 }  // namespace sensrep::tools

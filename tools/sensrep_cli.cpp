@@ -24,8 +24,15 @@
 //   --robot-fault-dist=exponential|weibull:K   robot TTF distribution
 //   --robot-crash=I:T[,I:T...]  deterministic crashes: robot index I at time T
 //   --manager-crash=T   kill the centralized manager at time T (failover test)
+//   --robot-mttr=S      mean time to repair a failed robot, seconds ("inf"
+//                       disables — the default; failed robots never return)
+//   --robot-repair-dist=exponential|weibull:K   robot TTR distribution
+//   --robot-repair=I:T[,I:T...]  deterministic repairs: robot I returns at T
+//   --manager-repair=T  resurrect the centralized manager at time T (handback)
 //   --heartbeat=S       robot liveness heartbeat period (default 60)
 //   --lease-multiplier=M  lease expires after M heartbeat periods (default 3)
+//   --lease-auto-tune   tune each robot's lease window from its observed
+//                       update cadence (EWMA; clamped to the configured window)
 //   --collisions        model broadcast-frame collisions at receivers
 //   --csv=PATH          append one result row per run to a CSV file
 //   --trace=PATH        write the failure-lifecycle event log as JSON lines
@@ -41,6 +48,8 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "core/replication.hpp"
 #include "core/simulation.hpp"
@@ -79,9 +88,12 @@ void parse_lifetime(const std::string& s, wsn::LifetimeModel& model) {
   }
 }
 
-// "--robot-crash=0:5000,2:12000" -> robot 0 dies at t=5000s, robot 2 at 12000s.
-std::vector<robot::ScheduledCrash> parse_crashes(const std::string& s) {
-  std::vector<robot::ScheduledCrash> crashes;
+// "0:5000,2:12000" -> {robot 0, t=5000s}, {robot 2, t=12000s}. Shared by
+// --robot-crash (deaths) and --robot-repair (resurrections); `flag` names the
+// option in error messages.
+std::vector<std::pair<std::size_t, double>> parse_robot_times(const std::string& flag,
+                                                              const std::string& s) {
+  std::vector<std::pair<std::size_t, double>> events;
   std::size_t start = 0;
   while (start < s.size()) {
     auto end = s.find(',', start);
@@ -89,30 +101,30 @@ std::vector<robot::ScheduledCrash> parse_crashes(const std::string& s) {
     const std::string item = s.substr(start, end - start);
     const auto colon = item.find(':');
     if (colon == std::string::npos) {
-      throw std::invalid_argument("--robot-crash: expected I:T pairs, got '" + item + "'");
+      throw std::invalid_argument("--" + flag + ": expected I:T pairs, got '" + item + "'");
     }
     try {
-      crashes.push_back(robot::ScheduledCrash{std::stoul(item.substr(0, colon)),
-                                              std::stod(item.substr(colon + 1))});
+      events.emplace_back(std::stoul(item.substr(0, colon)),
+                          std::stod(item.substr(colon + 1)));
     } catch (const std::invalid_argument&) {
-      throw std::invalid_argument("--robot-crash: bad pair '" + item + "'");
+      throw std::invalid_argument("--" + flag + ": bad pair '" + item + "'");
     }
     start = end + 1;
   }
-  return crashes;
+  return events;
 }
 
-void parse_fault_dist(const std::string& s, robot::FaultConfig& faults) {
+void parse_dist(const std::string& flag, const std::string& s,
+                robot::FaultDistribution& dist, double& shape) {
   const auto colon = s.find(':');
   const std::string kind = s.substr(0, colon);
   if (kind == "exponential") {
-    faults.distribution = robot::FaultDistribution::kExponential;
+    dist = robot::FaultDistribution::kExponential;
   } else if (kind == "weibull") {
-    faults.distribution = robot::FaultDistribution::kWeibull;
-    if (colon != std::string::npos) faults.weibull_shape = std::stod(s.substr(colon + 1));
+    dist = robot::FaultDistribution::kWeibull;
+    if (colon != std::string::npos) shape = std::stod(s.substr(colon + 1));
   } else {
-    throw std::invalid_argument("--robot-fault-dist: expected exponential|weibull:K, got " +
-                                s);
+    throw std::invalid_argument("--" + flag + ": expected exponential|weibull:K, got " + s);
   }
 }
 
@@ -126,14 +138,16 @@ void append_csv(const std::string& path, const core::SimulationConfig& cfg,
              "travel_m_per_failure", "report_hops", "request_hops",
              "update_tx_per_failure", "repair_latency_s", "p95_latency_s",
              "delivery_ratio", "motion_energy_kj", "robot_failures", "tasks_lost",
-             "orphaned_tasks", "redispatches", "failover_events", "adoptions"});
+             "orphaned_tasks", "redispatches", "failover_events", "adoptions",
+             "robot_repairs", "elections", "handbacks", "ownership_transfers"});
   }
   csv.row(std::string(to_string(cfg.algorithm)), cfg.robots, r.seed, cfg.sim_duration,
           cfg.radio.loss_probability, r.failures, r.repaired, r.avg_travel_per_repair,
           r.avg_report_hops, r.avg_request_hops, r.location_update_tx_per_repair,
           r.avg_repair_latency, r.p95_repair_latency, r.delivery_ratio,
           r.motion_energy_j / 1000.0, r.robot_failures, r.tasks_lost, r.orphaned_tasks,
-          r.redispatches, r.failover_events, r.adoptions);
+          r.redispatches, r.failover_events, r.adoptions, r.robot_repairs, r.elections,
+          r.handbacks, r.ownership_transfers);
 }
 
 }  // namespace
@@ -169,17 +183,49 @@ int main(int argc, char** argv) {
     cfg.radio.model_collisions = args.has("collisions");
 
     const double inf = std::numeric_limits<double>::infinity();
-    cfg.robot_faults.mtbf = args.get_double_in("robot-mtbf", inf, 1.0, inf);
-    parse_fault_dist(args.get_string("robot-fault-dist", "exponential"), cfg.robot_faults);
+    auto& faults = cfg.robot_faults;
+    faults.mtbf = args.get_double_in("robot-mtbf", inf, 1.0, inf);
+    parse_dist("robot-fault-dist", args.get_string("robot-fault-dist", "exponential"),
+               faults.distribution, faults.weibull_shape);
     const auto crash_spec = args.get_string("robot-crash", "");
-    if (!crash_spec.empty()) cfg.robot_faults.crashes = parse_crashes(crash_spec);
-    if (args.has("manager-crash")) {
-      cfg.robot_faults.manager_crash_at =
-          args.get_double_in("manager-crash", 0.0, 0.0, inf);
+    for (const auto& [i, t] : parse_robot_times("robot-crash", crash_spec)) {
+      faults.crashes.push_back(robot::ScheduledCrash{i, t});
     }
-    cfg.robot_faults.heartbeat_period = args.get_double_in("heartbeat", 60.0, 1.0, inf);
-    cfg.robot_faults.lease_multiplier =
-        args.get_double_in("lease-multiplier", 3.0, 1.0, 100.0);
+    if (args.has("manager-crash")) {
+      faults.manager_crash_at = args.get_double_in("manager-crash", 0.0, 0.0, inf);
+    }
+    faults.mttr = args.get_double_in("robot-mttr", inf, 1.0, inf);
+    parse_dist("robot-repair-dist", args.get_string("robot-repair-dist", "exponential"),
+               faults.repair_distribution, faults.repair_weibull_shape);
+    const auto repair_spec = args.get_string("robot-repair", "");
+    for (const auto& [i, t] : parse_robot_times("robot-repair", repair_spec)) {
+      faults.repairs.push_back(robot::ScheduledRepair{i, t});
+    }
+    if (args.has("manager-repair")) {
+      faults.manager_repair_at = args.get_double_in("manager-repair", 0.0, 0.0, inf);
+    }
+    faults.heartbeat_period = args.get_double_in("heartbeat", 60.0, 1.0, inf);
+    faults.lease_multiplier = args.get_double_in("lease-multiplier", 3.0, 1.0, 100.0);
+    faults.lease_auto_tune = args.has("lease-auto-tune");
+
+    // Fault events scheduled at or past the horizon would silently never
+    // fire — reject the misconfiguration instead of running "fault-free".
+    {
+      std::vector<double> crash_times;
+      for (const auto& c : faults.crashes) crash_times.push_back(c.at);
+      tools::validate_crash_times("robot-crash", crash_times, cfg.sim_duration);
+      std::vector<double> repair_times;
+      for (const auto& rep : faults.repairs) repair_times.push_back(rep.at);
+      tools::validate_crash_times("robot-repair", repair_times, cfg.sim_duration);
+      if (faults.manager_crash_at) {
+        tools::validate_crash_times("manager-crash", {*faults.manager_crash_at},
+                                    cfg.sim_duration);
+      }
+      if (faults.manager_repair_at) {
+        tools::validate_crash_times("manager-repair", {*faults.manager_repair_at},
+                                    cfg.sim_duration);
+      }
+    }
 
     const auto replications = args.get_u64("replications", 1);
     const auto jobs = args.get_u64("jobs", 0);  // 0 = hardware concurrency

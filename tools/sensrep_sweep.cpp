@@ -25,6 +25,9 @@
 //   --robot-mtbf=S   mean time between robot failures ("inf" disables, the
 //                    default); enables the fault-tolerance subsystem in
 //                    every cell of the grid (E13)
+//   --robot-mttr=S   mean time to repair failed robots ("inf" disables, the
+//                    default); with --robot-mtbf this turns the fleet into a
+//                    steady-state availability model (E14)
 
 #include <fstream>
 #include <iostream>
@@ -80,6 +83,7 @@ int main(int argc, char** argv) {
     const double loss = args.get_double_in("loss", 0.0, 0.0, 1.0);
     const bool reliable_reports = args.has("reliable-reports");
     const double robot_mtbf = args.get_double_in("robot-mtbf", inf, 1.0, inf);
+    const double robot_mttr = args.get_double_in("robot-mttr", inf, 1.0, inf);
     args.reject_unknown();
 
     runner::ParameterGrid grid;
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
     grid.base.radio.loss_probability = loss;
     grid.base.field.reliable_reports = reliable_reports;
     grid.base.robot_faults.mtbf = robot_mtbf;
+    grid.base.robot_faults.mttr = robot_mttr;
 
     std::ofstream out(out_path);
     runner::CsvSink csv(out);
