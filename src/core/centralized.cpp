@@ -342,6 +342,10 @@ void CentralizedAlgorithm::apply_handback() {
   trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
                                "acting manager %u handed the role back to manager %u",
                                former, manager_->id());
+  if (event_log_) {
+    event_log_->record({ctx().simulator->now(), trace::EventKind::kFailover,
+                        manager_->id(), former, manager_pos_, std::nullopt});
+  }
   // The in-flight table, tracking map, and backlogs survive the handback —
   // the role moves, the dispatcher state does not, so no task is lost.
   // Re-announce flood: the restored manager tells the network where to
@@ -466,6 +470,10 @@ void CentralizedAlgorithm::perform_failover() {
   manager_lease_ = ctx().simulator->now();
   trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
                                "robot %u promoted to acting manager", am.id());
+  if (event_log_) {
+    event_log_->record({ctx().simulator->now(), trace::EventKind::kFailover, am.id(),
+                        manager_->id(), am.position(), std::nullopt});
+  }
   // Promotion flood: the new manager tells the whole network where to report
   // (same analytic accounting as the init flood). The old manager's in-flight
   // table died with it — unrepaired failures come back via the guardians'
@@ -524,6 +532,11 @@ void CentralizedAlgorithm::on_robot_presumed_dead(std::size_t index) {
     trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
                                  "re-dispatching repair of %u (was in flight at robot %u)",
                                  entry.slot, robot_at(index).id());
+    if (event_log_) {
+      event_log_->record({ctx().simulator->now(), trace::EventKind::kRedispatch,
+                          entry.slot, robot_at(index).id(), entry.location,
+                          static_cast<double>(fid)});
+    }
     net::FailureReportPayload failure;
     failure.failed_node = entry.slot;
     failure.failed_location = entry.location;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geometry/voronoi.hpp"
+#include "obs/profiler.hpp"
 #include "trace/log.hpp"
 
 #include "core/centralized.hpp"
@@ -25,6 +26,12 @@ void CoordinationAlgorithm::record_report_arrival(const Packet& pkt) {
       event_log_->record({ctx_.simulator->now(), trace::EventKind::kReport,
                           body.failed_node, pkt.src, body.failed_location,
                           static_cast<double>(pkt.hops)});
+    }
+    if (tracer_) {
+      tracer_->close(body.failure_id, obs::Stage::kReport, ctx_.simulator->now(),
+                     static_cast<double>(pkt.hops), pkt.src);
+      tracer_->open(body.failure_id, obs::Stage::kDispatch, ctx_.simulator->now(),
+                    body.failed_node);
     }
   }
 }
@@ -101,14 +108,23 @@ void CoordinationAlgorithm::on_robot_idle(robot::RobotNode& robot) {
   robot.drive_to(home);
 }
 
-void CoordinationAlgorithm::on_robot_failed(robot::RobotNode& /*robot*/,
+void CoordinationAlgorithm::on_robot_failed(robot::RobotNode& robot,
                                             std::size_t tasks_lost) {
   ++fault_stats_.robot_failures;
   fault_stats_.tasks_lost += tasks_lost;
+  if (event_log_) {
+    event_log_->record({ctx_.simulator->now(), trace::EventKind::kRobotFailure,
+                        robot.id(), std::nullopt, robot.position(),
+                        static_cast<double>(tasks_lost)});
+  }
 }
 
 void CoordinationAlgorithm::on_robot_repaired(robot::RobotNode& robot) {
   ++fault_stats_.robot_repairs;
+  if (event_log_) {
+    event_log_->record({ctx_.simulator->now(), trace::EventKind::kRobotRepair,
+                        robot.id(), std::nullopt, robot.position(), std::nullopt});
+  }
   const std::size_t index = robot_index(robot.id());
   if (ft_active_) {
     // Grace lease from the resurrection instant, and a reset cadence: the
@@ -132,7 +148,12 @@ void CoordinationAlgorithm::start_fault_tolerance() {
   for (std::size_t i = 0; i < robot_count(); ++i) {
     robot_at(i).start_heartbeat(faults.heartbeat_period);
   }
-  ctx_.simulator->every(faults.heartbeat_period, [this] { supervise(); });
+  ctx_.simulator->every(faults.heartbeat_period, [this] {
+    // Timed here (not inside supervise()) so algorithm overrides that call
+    // the base sweep are counted once per tick, not nested.
+    const obs::ScopedTimer probe(obs::Probe::kSupervise);
+    supervise();
+  });
 }
 
 void CoordinationAlgorithm::refresh_lease(std::size_t index) {
@@ -154,6 +175,7 @@ double CoordinationAlgorithm::effective_lease_window(std::size_t index) const {
 }
 
 robot::RobotNode* CoordinationAlgorithm::closest_live_robot(geometry::Vec2 pos) {
+  const obs::ScopedTimer probe(obs::Probe::kClosestLiveRobot);
   robot::RobotNode* best = nullptr;
   double best_d = 0.0;
   for (std::size_t i = 0; i < robot_count(); ++i) {

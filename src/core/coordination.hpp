@@ -5,6 +5,7 @@
 
 #include "core/config.hpp"
 #include "metrics/failure_log.hpp"
+#include "obs/tracer.hpp"
 #include "net/medium.hpp"
 #include "robot/robot.hpp"
 #include "sim/simulator.hpp"
@@ -64,6 +65,10 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   /// Streams report/dispatch/robot-move events into `log` (nullptr
   /// detaches). The log must outlive the algorithm.
   void set_event_log(trace::EventLog* log) noexcept { event_log_ = log; }
+
+  /// Opens/closes report/dispatch spans on `tracer` (nullptr detaches). The
+  /// tracer must outlive the algorithm.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   /// RobotPolicy: anticipatory repositioning (config().idle_reposition,
   /// extension E12) — an idle robot returns to its region's centroid.
@@ -190,6 +195,7 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
 
   double init_motion_ = 0.0;
   trace::EventLog* event_log_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   FaultStats fault_stats_;
 
  private:

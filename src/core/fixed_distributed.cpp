@@ -122,6 +122,11 @@ void FixedDistributedAlgorithm::on_robot_presumed_dead(std::size_t index) {
   trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
                                "robot %u adopts %zu subarea(s) of dead robot %u",
                                am.id(), adopted.size(), robot_at(index).id());
+  if (event_log_) {
+    event_log_->record({ctx().simulator->now(), trace::EventKind::kFailover, am.id(),
+                        robot_at(index).id(), am.position(),
+                        static_cast<double>(adopted.size())});
+  }
   // Ownership flood: a network-wide control broadcast (accounted analytically
   // like the init floods — relay rules confine location updates to owned
   // cells, so ownership changes must travel as their own flood).

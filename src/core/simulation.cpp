@@ -131,6 +131,12 @@ void Simulation::attach_event_log(trace::EventLog& log) {
   algo_->set_event_log(&log);
 }
 
+void Simulation::attach_tracer(obs::Tracer& tracer) {
+  field_->set_tracer(&tracer);
+  algo_->set_tracer(&tracer);
+  for (auto& r : robots_) r->set_tracer(&tracer);
+}
+
 void Simulation::run_until(sim::SimTime t) { sim_.run_until(t); }
 
 ExperimentResult Simulation::result() const {

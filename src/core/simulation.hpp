@@ -109,6 +109,11 @@ class Simulation {
   /// on (see trace::EventLog). The log must outlive the simulation.
   void attach_event_log(trace::EventLog& log);
 
+  /// Follows every sensor failure through its repair lifecycle as spans on
+  /// `tracer` from now on (see obs::Tracer and docs/OBSERVABILITY.md). The
+  /// tracer must outlive the simulation.
+  void attach_tracer(obs::Tracer& tracer);
+
   // --- component access (examples, tests, visualization) --------------------
 
   [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }

@@ -1,0 +1,63 @@
+#include "obs/profiler.hpp"
+
+#include <cstdio>
+
+namespace sensrep::obs {
+
+std::atomic<bool> Profiler::enabled_{false};
+std::array<Profiler::Cell, static_cast<std::size_t>(Probe::kCount)> Profiler::cells_{};
+
+std::string_view to_string(Probe p) noexcept {
+  switch (p) {
+    case Probe::kEventPush: return "event_queue.push";
+    case Probe::kEventPop: return "event_queue.pop";
+    case Probe::kRouterNextHop: return "geo_router.next_hop";
+    case Probe::kPlanarizer: return "planarizer";
+    case Probe::kSupervise: return "supervision_sweep";
+    case Probe::kClosestLiveRobot: return "closest_live_robot";
+    case Probe::kCount: break;
+  }
+  return "?";
+}
+
+void Profiler::reset() noexcept {
+  for (Cell& c : cells_) {
+    c.count.store(0, std::memory_order_relaxed);
+    c.ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+Profiler::Snapshot Profiler::snapshot(Probe p) noexcept {
+  const Cell& c = cells_[static_cast<std::size_t>(p)];
+  return {c.count.load(std::memory_order_relaxed), c.ns.load(std::memory_order_relaxed)};
+}
+
+std::string Profiler::report() {
+  std::uint64_t total_ns = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    total_ns += snapshot(static_cast<Probe>(i)).ns;
+  }
+  std::string out = "hot-path wall-clock profile (inclusive):\n";
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-22s %12s %12s %10s %7s\n", "probe", "calls",
+                "total_ms", "ns/call", "share");
+  out += line;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const auto p = static_cast<Probe>(i);
+    const Snapshot s = snapshot(p);
+    if (s.count == 0) continue;
+    const double ms = static_cast<double>(s.ns) / 1e6;
+    const double per = static_cast<double>(s.ns) / static_cast<double>(s.count);
+    const double share =
+        total_ns == 0 ? 0.0
+                      : 100.0 * static_cast<double>(s.ns) / static_cast<double>(total_ns);
+    std::snprintf(line, sizeof line, "  %-22s %12llu %12.2f %10.0f %6.1f%%\n",
+                  std::string(to_string(p)).c_str(),
+                  static_cast<unsigned long long>(s.count), ms, per, share);
+    out += line;
+  }
+  if (total_ns == 0) out += "  (no probe fired; was the profiler enabled?)\n";
+  return out;
+}
+
+}  // namespace sensrep::obs

@@ -68,7 +68,22 @@ std::size_t RobotNode::fail() {
   if (failed_) return 0;
   failed_ = true;
   std::size_t lost = current_ && !init_drive_ ? 1 : 0;
-  while (queue_.pop()) ++lost;
+  if (tracer_ && current_ && !init_drive_ && current_->failure_id != 0) {
+    // The in-flight task is stranded until redispatch (or never).
+    tracer_->close_if_open(current_->failure_id, obs::Stage::kTravel, sim_->now(),
+                           task_travel_, id_);
+    tracer_->open(current_->failure_id, obs::Stage::kOrphan, sim_->now(),
+                  current_->slot, id_);
+  }
+  while (const auto dropped = queue_.pop()) {
+    ++lost;
+    if (tracer_ && dropped->failure_id != 0) {
+      tracer_->close_if_open(dropped->failure_id, obs::Stage::kQueue, sim_->now(),
+                             std::nullopt, id_);
+      tracer_->open(dropped->failure_id, obs::Stage::kOrphan, sim_->now(),
+                    dropped->slot, id_);
+    }
+  }
   current_.reset();
   reloading_ = false;
   init_drive_ = false;
@@ -110,6 +125,16 @@ void RobotNode::enqueue(const RepairTask& task) {
   if (task.failure_id != 0) {
     auto& rec = field_->failure_log().at(task.failure_id - 1);
     if (!sim::is_valid_time(rec.dispatched_at)) rec.dispatched_at = sim_->now();
+    if (tracer_) {
+      // close_if_open on both: a re-report re-dispatches an already-accepted
+      // failure (dispatch long closed), and only fault recovery has an
+      // orphan span to resolve here.
+      tracer_->close_if_open(task.failure_id, obs::Stage::kDispatch, sim_->now(),
+                             std::nullopt, id_);
+      tracer_->close_if_open(task.failure_id, obs::Stage::kOrphan, sim_->now(),
+                             std::nullopt, id_);
+      tracer_->open(task.failure_id, obs::Stage::kQueue, sim_->now(), task.slot, id_);
+    }
   }
   queue_.push(task);
   if (!current_) start_next_task();
@@ -140,9 +165,17 @@ void RobotNode::start_next_task() {
   }
   current_ = *next;
   task_travel_ = 0.0;
+  if (tracer_ && current_->failure_id != 0) {
+    tracer_->close_if_open(current_->failure_id, obs::Stage::kQueue, sim_->now(),
+                           std::nullopt, id_);
+  }
   // Out of spares: detour to the depot first (reload happens on arrival).
   if (spares_ == 0 && config_.depot) {
     reloading_ = true;
+    if (tracer_ && current_->failure_id != 0) {
+      tracer_->open(current_->failure_id, obs::Stage::kTravel, sim_->now(),
+                    current_->slot, id_);
+    }
     begin_leg_to(*config_.depot);
     return;
   }
@@ -151,9 +184,17 @@ void RobotNode::start_next_task() {
     trace::Logger::global().logf(trace::Level::kWarn, sim_->now(), "robot",
                                  "robot %u has no spares and no depot; dropping task for %u",
                                  id_, current_->slot);
+    if (tracer_ && current_->failure_id != 0) {
+      tracer_->open(current_->failure_id, obs::Stage::kOrphan, sim_->now(),
+                    current_->slot, id_);
+    }
     current_.reset();
     start_next_task();
     return;
+  }
+  if (tracer_ && current_->failure_id != 0) {
+    tracer_->open(current_->failure_id, obs::Stage::kTravel, sim_->now(),
+                  current_->slot, id_);
   }
   begin_leg_to(current_->location);
 }
@@ -198,6 +239,13 @@ void RobotNode::arrive() {
     current_.reset();
     start_next_task();
     return;
+  }
+  // The travel span closes on any arrival, including the duplicate-dispatch
+  // one below: the robot drove either way, and leaving the span open would
+  // misreport finished work as orphaned.
+  if (tracer_ && task.failure_id != 0) {
+    tracer_->close_if_open(task.failure_id, obs::Stage::kTravel, sim_->now(),
+                           task_travel_, id_);
   }
   // Duplicate dispatch (two watchers reported to two robots): whoever
   // arrives second finds the slot already alive and keeps its spare.

@@ -8,6 +8,7 @@
 #include "geometry/vec2.hpp"
 #include "net/medium.hpp"
 #include "net/packet.hpp"
+#include "obs/tracer.hpp"
 #include "robot/task_queue.hpp"
 #include "routing/geo_router.hpp"
 #include "routing/neighbor_table.hpp"
@@ -136,6 +137,10 @@ class RobotNode {
   /// Medium receive entry.
   void on_packet(const net::Packet& pkt, net::NodeId from);
 
+  /// Opens/closes queue/travel/orphan spans on `tracer` (nullptr detaches).
+  /// The tracer must outlive the robot.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   /// Starts the periodic liveness heartbeat (robot fault tolerance): every
   /// `period` seconds the policy's on_robot_location_update fires as if the
   /// robot had crossed a movement threshold, so a parked robot keeps
@@ -188,6 +193,7 @@ class RobotNode {
   bool failed_ = false;
   sim::EventId move_event_{};
   sim::EventId heartbeat_event_{};
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sensrep::robot

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/profiler.hpp"
 #include "routing/face_routing.hpp"
 
 namespace sensrep::routing {
@@ -66,6 +67,9 @@ bool GeoRouter::try_unicast(NodeId next, const Packet& pkt) {
 }
 
 void GeoRouter::forward(Packet pkt, NodeId from) {
+  // Safe to time the whole call: transmission is asynchronous (the medium
+  // delivers via the simulator), so forward() never re-enters itself.
+  const obs::ScopedTimer probe(obs::Probe::kRouterNextHop);
   if (pkt.ttl == 0) {
     drop_packet(pkt, DropReason::kTtlExpired);
     return;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
+
 namespace sensrep::routing {
 
 using geometry::Vec2;
@@ -38,6 +40,7 @@ bool edge_survives(PlanarGraph kind, Vec2 self, const NeighborEntry& candidate,
 
 std::vector<NeighborEntry> planar_neighbors(PlanarGraph kind, Vec2 self,
                                             const std::vector<NeighborEntry>& neighbors) {
+  const obs::ScopedTimer probe(obs::Probe::kPlanarizer);
   std::vector<NeighborEntry> out;
   out.reserve(neighbors.size());
   for (const NeighborEntry& n : neighbors) {

@@ -1,6 +1,9 @@
 #include "runner/executor.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <mutex>
+#include <numeric>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -21,6 +24,25 @@ std::size_t resolve_workers(std::size_t requested) {
 
 }  // namespace
 
+double BatchResult::total_wall_seconds() const noexcept {
+  double sum = 0.0;
+  for (const JobStats& s : stats) sum += s.wall_seconds;
+  return sum;
+}
+
+std::vector<std::size_t> BatchResult::slowest(std::size_t n) const {
+  std::vector<std::size_t> order(stats.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    if (stats[a].wall_seconds != stats[b].wall_seconds) {
+      return stats[a].wall_seconds > stats[b].wall_seconds;
+    }
+    return a < b;
+  });
+  order.resize(std::min(n, order.size()));
+  return order;
+}
+
 Executor::Executor(ExecutorOptions options)
     : workers_(resolve_workers(options.jobs)),
       retries_(options.retries),
@@ -37,6 +59,7 @@ BatchResult Executor::run(const std::vector<Job>& jobs, const RunFn& fn,
                           ResultSink* sink) {
   BatchResult batch;
   batch.results.resize(jobs.size());
+  batch.stats.resize(jobs.size());
 
   // Workers publish into index-addressed slots; the thread that completes
   // the head of the remaining range flushes the contiguous ready prefix to
@@ -45,6 +68,7 @@ BatchResult Executor::run(const std::vector<Job>& jobs, const RunFn& fn,
   struct Slot {
     std::optional<core::ExperimentResult> result;
     std::optional<JobFailure> failure;
+    JobStats stats;
   };
   std::vector<Slot> slots(jobs.size());
   std::vector<char> ready(jobs.size(), 0);
@@ -57,7 +81,9 @@ BatchResult Executor::run(const std::vector<Job>& jobs, const RunFn& fn,
                  &job, this] {
       Slot slot;
       const std::size_t max_attempts = retries_ + 1;
+      const auto started = std::chrono::steady_clock::now();
       for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        slot.stats.attempts = attempt;
         try {
           slot.result = fn(job);
           break;
@@ -71,6 +97,9 @@ BatchResult Executor::run(const std::vector<Job>& jobs, const RunFn& fn,
           }
         }
       }
+      slot.stats.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+              .count();
       if (progress_ != nullptr) progress_->job_done();
 
       const std::lock_guard lock(dispatch_mu);
@@ -81,8 +110,9 @@ BatchResult Executor::run(const std::vector<Job>& jobs, const RunFn& fn,
         if (head.failure) {
           batch.failures.push_back(std::move(*head.failure));
         } else if (sink != nullptr) {
-          sink->accept(jobs[next_to_emit], *head.result);
+          sink->accept(jobs[next_to_emit], *head.result, head.stats);
         }
+        batch.stats[next_to_emit] = head.stats;
         batch.results[next_to_emit] = std::move(head.result);
         ++next_to_emit;
       }

@@ -30,11 +30,19 @@ struct ExecutorOptions {
 struct BatchResult {
   std::vector<std::optional<core::ExperimentResult>> results;
   std::vector<JobFailure> failures;  // ascending index
+  std::vector<JobStats> stats;       // per job index (failed jobs included)
 
   [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
   [[nodiscard]] std::size_t completed() const noexcept {
     return results.size() - failures.size();
   }
+
+  /// Sum of per-job wall seconds (CPU-side cost, not elapsed batch time).
+  [[nodiscard]] double total_wall_seconds() const noexcept;
+
+  /// Indices of the `n` slowest jobs by wall time, slowest first (ties by
+  /// ascending index, so the order is stable across worker counts).
+  [[nodiscard]] std::vector<std::size_t> slowest(std::size_t n) const;
 };
 
 /// Parallel batch executor for independent simulation runs.

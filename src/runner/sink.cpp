@@ -1,6 +1,7 @@
 #include "runner/sink.hpp"
 
 #include <string>
+#include <vector>
 
 namespace sensrep::runner {
 
@@ -8,7 +9,14 @@ void VectorSink::accept(const Job& job, const core::ExperimentResult& result) {
   entries_.push_back({job.index, result});
 }
 
-CsvSink::CsvSink(std::ostream& out) : csv_(out) {
+CsvSink::CsvSink(std::ostream& out, bool wall_time) : csv_(out), wall_time_(wall_time) {
+  if (wall_time_) {
+    csv_.row({"algorithm", "robots", "seed", "duration_s", "failures", "repaired",
+              "delivery_ratio", "travel_m_per_failure", "report_hops", "request_hops",
+              "update_tx_per_failure", "repair_latency_s", "p95_latency_s",
+              "motion_energy_kj", "wall_s"});
+    return;
+  }
   csv_.row({"algorithm", "robots", "seed", "duration_s", "failures", "repaired",
             "delivery_ratio", "travel_m_per_failure", "report_hops", "request_hops",
             "update_tx_per_failure", "repair_latency_s", "p95_latency_s",
@@ -16,6 +24,25 @@ CsvSink::CsvSink(std::ostream& out) : csv_(out) {
 }
 
 void CsvSink::accept(const Job& job, const core::ExperimentResult& r) {
+  emit(job, r, nullptr);
+}
+
+void CsvSink::accept(const Job& job, const core::ExperimentResult& r,
+                     const JobStats& stats) {
+  emit(job, r, &stats);
+}
+
+void CsvSink::emit(const Job& job, const core::ExperimentResult& r,
+                   const JobStats* stats) {
+  if (wall_time_) {
+    csv_.row(std::string(core::to_string(job.config.algorithm)), job.config.robots,
+             job.config.seed, job.config.sim_duration, r.failures, r.repaired,
+             r.delivery_ratio, r.avg_travel_per_repair, r.avg_report_hops,
+             r.avg_request_hops, r.location_update_tx_per_repair, r.avg_repair_latency,
+             r.p95_repair_latency, r.motion_energy_j / 1000.0,
+             stats != nullptr ? stats->wall_seconds : 0.0);
+    return;
+  }
   csv_.row(std::string(core::to_string(job.config.algorithm)), job.config.robots,
            job.config.seed, job.config.sim_duration, r.failures, r.repaired,
            r.delivery_ratio, r.avg_travel_per_repair, r.avg_report_hops,

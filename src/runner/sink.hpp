@@ -10,6 +10,12 @@
 
 namespace sensrep::runner {
 
+/// Host-side execution stats for one job (wall clock, not sim time).
+struct JobStats {
+  double wall_seconds = 0.0;  // time inside the run function, retries included
+  std::size_t attempts = 1;   // 1 + retries actually taken
+};
+
 /// Consumer of per-job results.
 ///
 /// The executor guarantees accept() is invoked from one thread at a time,
@@ -21,6 +27,13 @@ class ResultSink {
  public:
   virtual ~ResultSink() = default;
   virtual void accept(const Job& job, const core::ExperimentResult& result) = 0;
+
+  /// Stats-aware entry the executor actually calls; the default forwards to
+  /// the two-argument accept() so existing sinks ignore stats transparently.
+  virtual void accept(const Job& job, const core::ExperimentResult& result,
+                      const JobStats& /*stats*/) {
+    accept(job, result);
+  }
 };
 
 /// Collects (index, result) pairs; entries arrive already index-sorted.
@@ -44,13 +57,22 @@ class VectorSink final : public ResultSink {
 /// grid order, the file is byte-identical across --jobs=1 and --jobs=N.
 class CsvSink final : public ResultSink {
  public:
-  /// Writes the header immediately; `out` must outlive the sink.
-  explicit CsvSink(std::ostream& out);
+  /// Writes the header immediately; `out` must outlive the sink. With
+  /// `wall_time` a trailing wall_s column is added — opt-in because wall
+  /// clocks are nondeterministic and would break byte-identical-output
+  /// comparisons across worker counts.
+  explicit CsvSink(std::ostream& out, bool wall_time = false);
 
   void accept(const Job& job, const core::ExperimentResult& result) override;
+  void accept(const Job& job, const core::ExperimentResult& result,
+              const JobStats& stats) override;
 
  private:
+  void emit(const Job& job, const core::ExperimentResult& r,
+            const JobStats* stats);
+
   metrics::CsvWriter csv_;
+  bool wall_time_;
 };
 
 }  // namespace sensrep::runner

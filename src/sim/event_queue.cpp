@@ -4,11 +4,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace sensrep::sim {
 
 EventId EventQueue::schedule(SimTime t, Callback cb) {
   if (!is_valid_time(t)) throw std::invalid_argument("EventQueue::schedule: invalid time");
   if (!cb) throw std::invalid_argument("EventQueue::schedule: null callback");
+  const obs::ScopedTimer probe(obs::Probe::kEventPush);
   const EventId id{next_seq_++};
   heap_.push(HeapEntry{t, id.value, id});
   live_.emplace(id.value, std::move(cb));
@@ -30,6 +33,7 @@ SimTime EventQueue::next_time() const {
 }
 
 EventQueue::Popped EventQueue::pop() {
+  const obs::ScopedTimer probe(obs::Probe::kEventPop);
   skim();
   assert(!heap_.empty());
   const HeapEntry top = heap_.top();

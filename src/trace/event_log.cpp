@@ -15,6 +15,10 @@ std::string_view to_string(EventKind k) noexcept {
     case EventKind::kDispatch: return "dispatch";
     case EventKind::kReplacement: return "replacement";
     case EventKind::kRobotMove: return "robot_move";
+    case EventKind::kRobotFailure: return "robot_failure";
+    case EventKind::kRobotRepair: return "robot_repair";
+    case EventKind::kFailover: return "failover";
+    case EventKind::kRedispatch: return "redispatch";
   }
   return "?";
 }

@@ -20,6 +20,10 @@ enum class EventKind : std::uint8_t {
   kDispatch,     // a robot was tasked
   kReplacement,  // the replacement unit powered on
   kRobotMove,    // a robot finished one movement leg
+  kRobotFailure, // a robot died (fault injection ground truth)
+  kRobotRepair,  // a robot was repaired and rejoined service (MTTR)
+  kFailover,     // manager failover / subarea adoption / role handback
+  kRedispatch,   // an orphaned in-flight task was re-sent to another robot
 };
 
 [[nodiscard]] std::string_view to_string(EventKind k) noexcept;

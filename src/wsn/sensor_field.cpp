@@ -137,6 +137,13 @@ void SensorField::fail_slot(NodeId slot) {
     event_log_->record({now, trace::EventKind::kFailure, slot, std::nullopt,
                         n.position(), std::nullopt});
   }
+  if (tracer_) {
+    // One trace per failure, keyed by the non-zero failure id carried in
+    // reports and tasks (FailureLog index + 1).
+    const std::uint64_t tid = *open_failure_[slot] + 1;
+    tracer_->open(tid, obs::Stage::kRepair, now, slot);  // root span
+    tracer_->open(tid, obs::Stage::kDetect, now, slot);
+  }
 
   // Neighbor-table staleness: every neighbor stops considering this node a
   // forwarding candidate exactly one staleness window after its last beacon
@@ -177,6 +184,19 @@ void SensorField::replace_slot(NodeId slot, NodeId robot) {
     auto& rec = log_->at(*open_failure_[slot]);
     rec.repaired_at = now;
     rec.robot_id = robot;
+    if (tracer_) {
+      const std::uint64_t tid = *open_failure_[slot] + 1;
+      // Stages the normal path already closed are no-ops here; this sweeps
+      // up whatever fault recovery left open before sealing the root span.
+      tracer_->close_if_open(tid, obs::Stage::kDetect, now);
+      tracer_->close_if_open(tid, obs::Stage::kReport, now);
+      tracer_->close_if_open(tid, obs::Stage::kDispatch, now);
+      tracer_->close_if_open(tid, obs::Stage::kQueue, now);
+      tracer_->close_if_open(tid, obs::Stage::kTravel, now);
+      tracer_->close_if_open(tid, obs::Stage::kOrphan, now);
+      tracer_->close(tid, obs::Stage::kRepair, now, rec.repaired_at - rec.failed_at,
+                     robot);
+    }
     open_failure_[slot].reset();
   }
   if (hooks_.on_replacement) hooks_.on_replacement(slot, now);
@@ -214,6 +234,11 @@ void SensorField::record_detection(NodeId slot) {
     if (event_log_) {
       event_log_->record({sim_->now(), trace::EventKind::kDetection, slot, std::nullopt,
                           node(slot).position(), rec.detected_at - rec.failed_at});
+    }
+    if (tracer_) {
+      tracer_->close(*fid + 1, obs::Stage::kDetect, sim_->now(),
+                     rec.detected_at - rec.failed_at);
+      tracer_->open(*fid + 1, obs::Stage::kReport, sim_->now(), slot);
     }
   }
 }

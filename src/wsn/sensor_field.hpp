@@ -8,6 +8,7 @@
 
 #include "geometry/rect.hpp"
 #include "metrics/counters.hpp"
+#include "obs/tracer.hpp"
 #include "metrics/failure_log.hpp"
 #include "net/medium.hpp"
 #include "routing/neighbor_table.hpp"
@@ -106,6 +107,10 @@ class SensorField {
   /// detaches). The log must outlive the field.
   void set_event_log(trace::EventLog* log) noexcept { event_log_ = log; }
 
+  /// Opens/closes repair-lifecycle spans on `tracer` (nullptr detaches). The
+  /// tracer must outlive the field.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   // --- topology & lookup --------------------------------------------------
 
   [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
@@ -183,6 +188,7 @@ class SensorField {
   std::vector<std::optional<metrics::FailureLog::FailureId>> open_failure_;
   std::size_t unreported_ = 0;
   trace::EventLog* event_log_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sensrep::wsn

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "trace/log.hpp"
+
 namespace sensrep::tools {
 
 class Args {
@@ -118,6 +120,17 @@ inline void validate_crash_times(const std::string& flag, const std::vector<doub
                                   " and would never fire");
     }
   }
+}
+
+/// Maps a --log-level value onto the global logger threshold.
+inline trace::Level parse_log_level(const std::string& s) {
+  if (s == "off") return trace::Level::kOff;
+  if (s == "trace") return trace::Level::kTrace;
+  if (s == "debug") return trace::Level::kDebug;
+  if (s == "info") return trace::Level::kInfo;
+  if (s == "warn") return trace::Level::kWarn;
+  if (s == "error") return trace::Level::kError;
+  throw std::invalid_argument("--log-level: expected off|debug|info|warn|error, got " + s);
 }
 
 }  // namespace sensrep::tools

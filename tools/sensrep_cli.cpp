@@ -36,6 +36,16 @@
 //   --collisions        model broadcast-frame collisions at receivers
 //   --csv=PATH          append one result row per run to a CSV file
 //   --trace=PATH        write the failure-lifecycle event log as JSON lines
+//   --trace-out=PATH    write repair-lifecycle spans as Chrome trace_event
+//                       JSON (load in chrome://tracing or Perfetto)
+//   --trace-jsonl=PATH  write repair-lifecycle spans as JSON lines
+//   --stage-csv=PATH    write per-stage latency percentiles (p50/p90/p99) CSV
+//   --timeseries-out=PATH  sample live robots / pending tasks / unrepaired
+//                       failures periodically and write them as a wide CSV
+//   --profile           profile hot paths (event queue, routing, supervision)
+//                       and print a wall-clock report; sim results unchanged
+//   --log-level=off|debug|info|warn|error   global logger threshold
+//                       (default warn)
 //   --histogram         print an ASCII histogram of repair latencies
 //   --quiet             print only the CSV/summary line
 //
@@ -45,6 +55,7 @@
 //   sensrep_cli --lifetime=weibull:4 --duration=32000 --csv=results.csv
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -56,8 +67,13 @@
 #include "runner/executor.hpp"
 #include "metrics/csv.hpp"
 #include "metrics/histogram.hpp"
+#include "metrics/summary.hpp"
+#include "metrics/timeline.hpp"
+#include "obs/profiler.hpp"
+#include "obs/tracer.hpp"
 #include "tools/args.hpp"
 #include "trace/event_log.hpp"
+#include "trace/log.hpp"
 
 namespace {
 
@@ -128,6 +144,23 @@ void parse_dist(const std::string& flag, const std::string& s,
   }
 }
 
+/// Per-stage latency percentiles out of the tracer's closed spans. Returned
+/// as (stage name, summary) in stage order; stages with no closed span are
+/// skipped.
+std::vector<std::pair<std::string, metrics::Summary>> stage_summaries(
+    const obs::Tracer& tracer) {
+  std::vector<std::pair<std::string, metrics::Summary>> out;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(obs::Stage::kCount); ++i) {
+    const auto stage = static_cast<obs::Stage>(i);
+    const auto durations = tracer.stage_durations(stage);
+    if (durations.empty()) continue;
+    metrics::Summary s;
+    for (const double d : durations) s.add(d);
+    out.emplace_back(std::string(obs::to_string(stage)), std::move(s));
+  }
+  return out;
+}
+
 void append_csv(const std::string& path, const core::SimulationConfig& cfg,
                 const core::ExperimentResult& r) {
   const bool fresh = !std::ifstream(path).good();
@@ -158,6 +191,10 @@ int main(int argc, char** argv) {
     if (args.has("help")) {
       std::cout << "see the header of tools/sensrep_cli.cpp for flag documentation\n";
       return 0;
+    }
+    const auto log_level = args.get_string("log-level", "");
+    if (!log_level.empty()) {
+      trace::Logger::global().set_threshold(tools::parse_log_level(log_level));
     }
 
     core::SimulationConfig cfg;
@@ -231,10 +268,26 @@ int main(int argc, char** argv) {
     const auto jobs = args.get_u64("jobs", 0);  // 0 = hardware concurrency
     const auto csv_path = args.get_string("csv", "");
     const auto trace_path = args.get_string("trace", "");
+    const auto trace_out = args.get_string("trace-out", "");
+    const auto trace_jsonl = args.get_string("trace-jsonl", "");
+    const auto stage_csv = args.get_string("stage-csv", "");
+    const auto timeseries_path = args.get_string("timeseries-out", "");
+    const bool profile = args.has("profile");
     const bool histogram = args.has("histogram");
     const bool quiet = args.has("quiet");
     args.reject_unknown();
     cfg.validate();
+
+    const bool tracing = !trace_out.empty() || !trace_jsonl.empty() || !stage_csv.empty();
+    if (replications > 1 && (tracing || !timeseries_path.empty())) {
+      throw std::invalid_argument(
+          "--trace-out/--trace-jsonl/--stage-csv/--timeseries-out follow a single "
+          "run; drop --replications to use them");
+    }
+    if (profile) {
+      obs::Profiler::reset();
+      obs::Profiler::enable(true);
+    }
 
     if (replications > 1) {
       // Seeds are independent runs, so multi-seed mode goes through the
@@ -244,12 +297,46 @@ int main(int argc, char** argv) {
       options.jobs = jobs;
       const auto rep = runner::run_replicated(cfg, replications, options);
       std::cout << rep.summary();
+      if (profile) {
+        obs::Profiler::enable(false);
+        std::cout << obs::Profiler::report();
+      }
       return 0;
     }
 
     core::Simulation simulation(cfg);
     trace::EventLog events;
     if (!trace_path.empty()) simulation.attach_event_log(events);
+    obs::Tracer tracer;
+    if (tracing) simulation.attach_tracer(tracer);
+
+    // Periodic fleet/backlog telemetry, sampled on the virtual clock. 200
+    // samples across the horizon keeps files small at any duration.
+    metrics::TimeSeries live_robots, pending_tasks, unrepaired_failures;
+    if (!timeseries_path.empty()) {
+      const double period = std::max(1.0, cfg.sim_duration / 200.0);
+      auto& simulator = simulation.simulator();
+      metrics::sample_periodically(simulator, period, live_robots, [&simulation] {
+        double alive = 0;
+        for (const auto& r : simulation.robots()) alive += r->failed() ? 0 : 1;
+        return alive;
+      });
+      metrics::sample_periodically(simulator, period, pending_tasks, [&simulation] {
+        double pending = 0;
+        for (const auto& r : simulation.robots()) {
+          pending += static_cast<double>(r->queue().size()) + (r->busy() ? 1 : 0);
+        }
+        return pending;
+      });
+      metrics::sample_periodically(simulator, period, unrepaired_failures, [&simulation] {
+        double open = 0;
+        for (const auto& rec : simulation.failure_log().records()) {
+          open += rec.repaired() ? 0 : 1;
+        }
+        return open;
+      });
+    }
+
     simulation.run();
     const auto result = simulation.result();
     if (!quiet) std::cout << result.summary();
@@ -278,6 +365,75 @@ int main(int argc, char** argv) {
       if (!quiet) {
         std::cout << "wrote " << events.size() << " events to " << trace_path << "\n";
       }
+    }
+    if (tracing) {
+      const auto stages = stage_summaries(tracer);
+      if (!quiet && !stages.empty()) {
+        std::cout << "repair-lifecycle stage latencies (s):\n";
+        std::printf("  %-10s %8s %10s %10s %10s\n", "stage", "count", "p50", "p90",
+                    "p99");
+        for (const auto& [name, s] : stages) {
+          std::printf("  %-10s %8zu %10.1f %10.1f %10.1f\n", name.c_str(), s.count(),
+                      s.percentile(0.50), s.percentile(0.90), s.percentile(0.99));
+        }
+        std::size_t complete = 0, repaired = 0;
+        const auto& records = simulation.failure_log().records();
+        for (std::size_t fid = 0; fid < records.size(); ++fid) {
+          if (!records[fid].repaired()) continue;
+          ++repaired;
+          complete += tracer.has_complete_chain(fid + 1) ? 1 : 0;
+        }
+        std::cout << "  complete chains: " << complete << "/" << repaired
+                  << " repaired failures; open spans at end: " << tracer.open_count()
+                  << "\n";
+      }
+      if (!stage_csv.empty()) {
+        std::ofstream out(stage_csv);
+        metrics::CsvWriter csv(out);
+        csv.row({"algorithm", "stage", "count", "p50_s", "p90_s", "p99_s"});
+        for (const auto& [name, s] : stages) {
+          csv.row(std::string(to_string(cfg.algorithm)), name, s.count(),
+                  s.percentile(0.50), s.percentile(0.90), s.percentile(0.99));
+        }
+        if (!out) {
+          std::cerr << "sensrep_cli: failed to write " << stage_csv << "\n";
+          return 2;
+        }
+      }
+      if (!trace_jsonl.empty() && !tracer.save_jsonl(trace_jsonl)) {
+        std::cerr << "sensrep_cli: failed to write " << trace_jsonl << "\n";
+        return 2;
+      }
+      if (!trace_out.empty()) {
+        if (!tracer.save_chrome_trace(trace_out)) {
+          std::cerr << "sensrep_cli: failed to write " << trace_out << "\n";
+          return 2;
+        }
+        if (!quiet) {
+          std::cout << "wrote " << tracer.spans().size() << " spans to " << trace_out
+                    << "\n";
+        }
+      }
+    }
+    if (!timeseries_path.empty()) {
+      std::ofstream out(timeseries_path);
+      metrics::CsvWriter csv(out);
+      csv.row({"t_s", "live_robots", "pending_tasks", "unrepaired_failures"});
+      const std::size_t n = std::min({live_robots.size(), pending_tasks.size(),
+                                      unrepaired_failures.size()});
+      for (std::size_t i = 0; i < n; ++i) {
+        csv.row(live_robots.points()[i].first, live_robots.points()[i].second,
+                pending_tasks.points()[i].second,
+                unrepaired_failures.points()[i].second);
+      }
+      if (!out) {
+        std::cerr << "sensrep_cli: failed to write " << timeseries_path << "\n";
+        return 2;
+      }
+    }
+    if (profile) {
+      obs::Profiler::enable(false);
+      std::cout << obs::Profiler::report();
     }
     return 0;
   } catch (const std::exception& e) {

@@ -28,13 +28,21 @@
 //   --robot-mttr=S   mean time to repair failed robots ("inf" disables, the
 //                    default); with --robot-mtbf this turns the fleet into a
 //                    steady-state availability model (E14)
+//   --profile        profile hot paths across the whole grid, add a per-job
+//                    wall_s CSV column, and print the slowest jobs. Opt-in
+//                    because wall clocks break byte-identical CSV comparisons
+//   --log-level=off|debug|info|warn|error   global logger threshold
+//                    (default warn)
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <limits>
 
+#include "obs/profiler.hpp"
 #include "runner/executor.hpp"
 #include "tools/args.hpp"
+#include "trace/log.hpp"
 
 namespace {
 
@@ -84,7 +92,17 @@ int main(int argc, char** argv) {
     const bool reliable_reports = args.has("reliable-reports");
     const double robot_mtbf = args.get_double_in("robot-mtbf", inf, 1.0, inf);
     const double robot_mttr = args.get_double_in("robot-mttr", inf, 1.0, inf);
+    const bool profile = args.has("profile");
+    const auto log_level = args.get_string("log-level", "");
+    if (!log_level.empty()) {
+      trace::Logger::global().set_threshold(tools::parse_log_level(log_level));
+    }
     args.reject_unknown();
+
+    if (profile) {
+      obs::Profiler::reset();
+      obs::Profiler::enable(true);
+    }
 
     runner::ParameterGrid grid;
     grid.seeds = seeds;
@@ -95,7 +113,7 @@ int main(int argc, char** argv) {
     grid.base.robot_faults.mttr = robot_mttr;
 
     std::ofstream out(out_path);
-    runner::CsvSink csv(out);
+    runner::CsvSink csv(out, /*wall_time=*/profile);
     runner::ProgressMeter progress(grid.size(), &std::cerr);
     runner::ExecutorOptions options;
     options.jobs = jobs;
@@ -115,6 +133,17 @@ int main(int argc, char** argv) {
     if (!gnuplot_path.empty()) {
       write_gnuplot(gnuplot_path, out_path);
       std::cout << "wrote " << gnuplot_path << "\n";
+    }
+    if (profile) {
+      obs::Profiler::enable(false);
+      const auto jobs_list = grid.expand();
+      std::printf("slowest jobs (%.1f s of simulation wall time total):\n",
+                  batch.total_wall_seconds());
+      for (const std::size_t idx : batch.slowest(5)) {
+        std::printf("  %8.2f s  %s\n", batch.stats[idx].wall_seconds,
+                    jobs_list[idx].label.c_str());
+      }
+      std::cout << obs::Profiler::report();
     }
     return batch.ok() ? 0 : 1;
   } catch (const std::exception& e) {

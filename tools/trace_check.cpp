@@ -1,0 +1,162 @@
+// trace_check — structural validator for the observability artifacts the
+// simulator emits, used by CI to keep the formats loadable:
+//
+//   trace_check --chrome=trace.json    Chrome trace_event JSON (obs::Tracer)
+//   trace_check --spans=spans.jsonl    span JSON lines (obs::Tracer)
+//   trace_check --events=events.jsonl  event-log JSON lines (trace::EventLog)
+//
+// Any number of the flags may be combined. Exit 0 when every file checks
+// out, 1 on a format violation, 2 on usage/IO errors. The checks are
+// structural (balanced JSON, required keys, span accounting), not a full
+// JSON parse — the goal is catching a broken emitter, not linting.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/args.hpp"
+
+namespace {
+
+/// True when every {, [, " in `s` is balanced/closed (string-aware).
+bool balanced_json(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = in_string;
+      continue;
+    }
+    if (c == '"') {
+      in_string = !in_string;
+      continue;
+    }
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+bool fail(const std::string& file, std::size_t line, const std::string& why) {
+  std::cerr << "trace_check: " << file;
+  if (line != 0) std::cerr << ":" << line;
+  std::cerr << ": " << why << "\n";
+  return false;
+}
+
+/// One JSON object per line, each containing every key in `required`.
+bool check_jsonl(const std::string& path, const std::vector<std::string>& required,
+                 const char* what) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "trace_check: cannot open " << path << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) {
+    ++n;
+    if (line.empty()) continue;
+    if (line.front() != '{' || line.back() != '}') {
+      return fail(path, n, "line is not a JSON object");
+    }
+    if (!balanced_json(line)) return fail(path, n, "unbalanced JSON");
+    for (const auto& key : required) {
+      if (line.find("\"" + key + "\":") == std::string::npos) {
+        return fail(path, n, "missing key \"" + key + "\"");
+      }
+    }
+  }
+  if (n == 0) return fail(path, 0, "empty file");
+  std::cout << path << ": " << n << " " << what << " lines OK\n";
+  return true;
+}
+
+/// Chrome trace_event JSON: {"traceEvents":[...]} with complete ("X", has
+/// dur) or begin ("B", flagged open) events carrying name/pid/tid/ts.
+bool check_chrome(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "trace_check: cannot open " << path << "\n";
+    std::exit(2);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string all = buf.str();
+  if (all.find("{\"traceEvents\":[") != 0) {
+    return fail(path, 0, "missing {\"traceEvents\":[ envelope");
+  }
+  if (!balanced_json(all)) return fail(path, 0, "unbalanced JSON");
+
+  std::istringstream lines(all);
+  std::string line;
+  std::size_t events = 0, complete = 0, open = 0;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    if (line.rfind("{\"name\":", 0) != 0) continue;  // envelope lines
+    ++events;
+    for (const char* key : {"\"name\":", "\"pid\":", "\"tid\":", "\"ts\":", "\"ph\":"}) {
+      if (line.find(key) == std::string::npos) {
+        return fail(path, n, std::string("event missing ") + key);
+      }
+    }
+    if (line.find("\"ph\":\"X\"") != std::string::npos) {
+      ++complete;
+      if (line.find("\"dur\":") == std::string::npos) {
+        return fail(path, n, "complete event without dur");
+      }
+    } else if (line.find("\"ph\":\"B\"") != std::string::npos) {
+      ++open;
+      if (line.find("\"open\":true") == std::string::npos) {
+        return fail(path, n, "begin event not flagged open");
+      }
+    } else {
+      return fail(path, n, "event phase is neither X nor B");
+    }
+  }
+  if (events == 0) return fail(path, 0, "no trace events");
+  std::cout << path << ": " << events << " events (" << complete << " complete, " << open
+            << " open) OK\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    sensrep::tools::Args args(argc, argv);
+    const auto chrome = args.get_string("chrome", "");
+    const auto spans = args.get_string("spans", "");
+    const auto events = args.get_string("events", "");
+    args.reject_unknown();
+    if (chrome.empty() && spans.empty() && events.empty()) {
+      std::cerr << "usage: trace_check [--chrome=trace.json] [--spans=spans.jsonl] "
+                   "[--events=events.jsonl]\n";
+      return 2;
+    }
+    bool ok = true;
+    if (!chrome.empty()) ok = check_chrome(chrome) && ok;
+    if (!spans.empty()) {
+      ok = check_jsonl(spans, {"trace", "stage", "node", "start"}, "span") && ok;
+    }
+    if (!events.empty()) {
+      ok = check_jsonl(events, {"t", "kind", "node"}, "event") && ok;
+    }
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "trace_check: " << e.what() << "\n";
+    return 2;
+  }
+}
