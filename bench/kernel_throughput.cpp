@@ -6,16 +6,25 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "geometry/rect.hpp"
 #include "geometry/spatial_hash.hpp"
 #include "metrics/counters.hpp"
 #include "net/medium.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "spatial/uniform_grid.hpp"
 
 namespace {
 
+using sensrep::geometry::Rect;
 using sensrep::geometry::SpatialHash;
 using sensrep::geometry::Vec2;
+using sensrep::spatial::UniformGrid2D;
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
@@ -62,6 +71,165 @@ void BM_SpatialHashQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpatialHashQuery);
+
+// --- spatial index vs brute force (E16) --------------------------------------
+//
+// The simulator's hot proximity queries, benchmarked both ways at the fleet
+// and field sizes the experiments use. The default field geometry assigns
+// each robot 200x200 m^2, so the side grows as 200 * sqrt(robots); sensors
+// deploy 50 per robot at the same density.
+
+/// Fleet scattered over a field sized for `n` robots (paper density).
+std::vector<Vec2> scatter(std::size_t n, double side, std::uint64_t seed) {
+  sensrep::sim::Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, side), rng.uniform(0, side)});
+  }
+  return pts;
+}
+
+/// Stand-in for a heap-allocated RobotNode: closest_live_robot's brute scan
+/// walks `vector<unique_ptr<RobotNode>>`, touching one scattered cache line
+/// per robot just to read its position, and tests the presumed-dead bit.
+/// The pad matches RobotNode's order of magnitude (router tables, task
+/// queue, kinematics state).
+struct FleetRobot {
+  Vec2 pos;
+  char pad[360];
+};
+
+std::vector<std::unique_ptr<FleetRobot>> make_fleet(const std::vector<Vec2>& pts) {
+  std::vector<std::unique_ptr<FleetRobot>> fleet;
+  fleet.reserve(pts.size());
+  for (const Vec2 p : pts) {
+    fleet.push_back(std::make_unique<FleetRobot>());
+    fleet.back()->pos = p;
+  }
+  return fleet;
+}
+
+void BM_NearestRobotBrute(benchmark::State& state) {
+  const auto robots = static_cast<std::size_t>(state.range(0));
+  const double side = 200.0 * std::sqrt(static_cast<double>(robots));
+  const auto fleet = make_fleet(scatter(robots, side, 11));
+  const std::vector<bool> presumed_dead(robots, false);
+  sensrep::sim::Rng rng(12);
+  std::size_t picked = 0;
+  for (auto _ : state) {
+    const Vec2 q{rng.uniform(0, side), rng.uniform(0, side)};
+    std::optional<std::size_t> best;
+    double best_d = 0.0;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      if (presumed_dead[i]) continue;
+      const double d = sensrep::geometry::distance(fleet[i]->pos, q);
+      if (!best || d < best_d) {
+        best = i;
+        best_d = d;
+      }
+    }
+    picked += *best;
+  }
+  benchmark::DoNotOptimize(picked);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NearestRobotBrute)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_NearestRobotGrid(benchmark::State& state) {
+  const auto robots = static_cast<std::size_t>(state.range(0));
+  const double side = 200.0 * std::sqrt(static_cast<double>(robots));
+  const auto pts = scatter(robots, side, 11);
+  const std::vector<bool> presumed_dead(robots, false);
+  UniformGrid2D<std::uint32_t> grid({{0, 0}, {side, side}}, 200.0);
+  for (std::uint32_t i = 0; i < pts.size(); ++i) grid.insert(i, pts[i]);
+  sensrep::sim::Rng rng(12);
+  std::size_t picked = 0;
+  for (auto _ : state) {
+    const Vec2 q{rng.uniform(0, side), rng.uniform(0, side)};
+    picked += *grid.nearest_euclid(
+        q, [&presumed_dead](std::uint32_t i) { return !presumed_dead[i]; });
+  }
+  benchmark::DoNotOptimize(picked);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NearestRobotGrid)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SensorRangeBrute(benchmark::State& state) {
+  const auto sensors = static_cast<std::size_t>(state.range(0));
+  const double side = 200.0 * std::sqrt(static_cast<double>(sensors) / 50.0);
+  const auto field = scatter(sensors, side, 13);
+  sensrep::sim::Rng rng(14);
+  std::size_t total = 0;
+  const double r = 63.0;
+  for (auto _ : state) {
+    const Vec2 q{rng.uniform(0, side), rng.uniform(0, side)};
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      if (sensrep::geometry::distance2(field[i], q) <= r * r) ++total;
+    }
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SensorRangeBrute)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SensorRangeGrid(benchmark::State& state) {
+  const auto sensors = static_cast<std::size_t>(state.range(0));
+  const double side = 200.0 * std::sqrt(static_cast<double>(sensors) / 50.0);
+  const auto field = scatter(sensors, side, 13);
+  UniformGrid2D<std::uint32_t> grid({{0, 0}, {side, side}}, 63.0);
+  for (std::uint32_t i = 0; i < field.size(); ++i) grid.insert(i, field[i]);
+  sensrep::sim::Rng rng(14);
+  std::size_t total = 0;
+  for (auto _ : state) {
+    const Vec2 q{rng.uniform(0, side), rng.uniform(0, side)};
+    total += grid.within_radius(q, 63.0).size();
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SensorRangeGrid)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SensorNearestBrute(benchmark::State& state) {
+  const auto sensors = static_cast<std::size_t>(state.range(0));
+  const double side = 200.0 * std::sqrt(static_cast<double>(sensors) / 50.0);
+  const auto field = scatter(sensors, side, 15);
+  sensrep::sim::Rng rng(16);
+  std::size_t picked = 0;
+  for (auto _ : state) {
+    const Vec2 q{rng.uniform(0, side), rng.uniform(0, side)};
+    std::optional<std::size_t> best;
+    double best_d2 = 0.0;
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      const double d2 = sensrep::geometry::distance2(field[i], q);
+      if (!best || d2 < best_d2) {
+        best = i;
+        best_d2 = d2;
+      }
+    }
+    picked += *best;
+  }
+  benchmark::DoNotOptimize(picked);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SensorNearestBrute)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SensorNearestGrid(benchmark::State& state) {
+  const auto sensors = static_cast<std::size_t>(state.range(0));
+  const double side = 200.0 * std::sqrt(static_cast<double>(sensors) / 50.0);
+  const auto field = scatter(sensors, side, 15);
+  UniformGrid2D<std::uint32_t> grid({{0, 0}, {side, side}}, 63.0);
+  for (std::uint32_t i = 0; i < field.size(); ++i) grid.insert(i, field[i]);
+  sensrep::sim::Rng rng(16);
+  std::size_t picked = 0;
+  for (auto _ : state) {
+    const Vec2 q{rng.uniform(0, side), rng.uniform(0, side)};
+    picked += *grid.nearest(q);
+  }
+  benchmark::DoNotOptimize(picked);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SensorNearestGrid)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_MediumBroadcast(benchmark::State& state) {
   sensrep::sim::Simulator sim;

@@ -30,12 +30,8 @@ void CentralizedAlgorithm::initialize() {
   // Sensors within their own TX range of the manager can use it as a final
   // forwarding hop; the flood above is how they learned it exists.
   auto& field = *ctx().field;
-  for (std::size_t s = 0; s < field.size(); ++s) {
-    auto& sensor = field.node(static_cast<NodeId>(s));
-    if (geometry::distance(sensor.position(), manager_pos_) <=
-        config().field.sensor_tx_range) {
-      sensor.table().upsert(manager_->id(), manager_pos_);
-    }
+  for (const NodeId s : field.slots_within(manager_pos_, config().field.sensor_tx_range)) {
+    field.node(s).table().upsert(manager_->id(), manager_pos_);
   }
 
   // Init message 2: each maintenance robot unicasts its location to the
@@ -359,13 +355,9 @@ void CentralizedAlgorithm::apply_handback() {
   // Sensors in radio range of the restored manager re-learn it as a final
   // forwarding hop (they may have switched to the acting manager's id).
   auto& field = *ctx().field;
-  for (std::size_t s = 0; s < field.size(); ++s) {
-    auto& sensor = field.node(static_cast<NodeId>(s));
-    if (!sensor.alive()) continue;
-    if (geometry::distance(sensor.position(), manager_pos_) <=
-        config().field.sensor_tx_range) {
-      sensor.table().upsert(manager_->id(), manager_pos_);
-    }
+  for (const NodeId s : field.slots_within(manager_pos_, config().field.sensor_tx_range)) {
+    auto& sensor = field.node(s);
+    if (sensor.alive()) sensor.table().upsert(manager_->id(), manager_pos_);
   }
 }
 
@@ -508,13 +500,9 @@ void CentralizedAlgorithm::perform_failover() {
   }
   // Sensors in radio range of the new manager can use it as a final hop.
   auto& field = *ctx().field;
-  for (std::size_t s = 0; s < field.size(); ++s) {
-    auto& sensor = field.node(static_cast<NodeId>(s));
-    if (!sensor.alive()) continue;
-    if (geometry::distance(sensor.position(), manager_pos_) <=
-        config().field.sensor_tx_range) {
-      sensor.table().upsert(am.id(), manager_pos_);
-    }
+  for (const NodeId s : field.slots_within(manager_pos_, config().field.sensor_tx_range)) {
+    auto& sensor = field.node(s);
+    if (sensor.alive()) sensor.table().upsert(am.id(), manager_pos_);
   }
 }
 

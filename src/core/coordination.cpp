@@ -1,6 +1,8 @@
 #include "core/coordination.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "geometry/voronoi.hpp"
 #include "obs/profiler.hpp"
@@ -131,10 +133,31 @@ void CoordinationAlgorithm::on_robot_repaired(robot::RobotNode& robot) {
     // robot's pre-death update rhythm says nothing about its new life.
     presumed_dead_[index] = false;
     lease_[index] = ctx_.simulator->now();
+    // The rejoined lease re-enters the floor (crucial when the whole fleet
+    // was presumed dead and the floor had risen to +inf — without this the
+    // batched sweep would never look at the reborn robot again).
+    lease_floor_ = std::min(lease_floor_, lease_[index]);
     cadence_ewma_[index] = config().robot_faults.heartbeat_period;
     robot.start_heartbeat(config().robot_faults.heartbeat_period);
   }
   on_robot_rejoin(index);
+}
+
+void CoordinationAlgorithm::on_robot_moved(robot::RobotNode& robot) {
+  if (robot_grid_) {
+    robot_grid_->move(static_cast<std::uint32_t>(robot_index(robot.id())),
+                      robot.position());
+  }
+}
+
+void CoordinationAlgorithm::ensure_robot_grid() {
+  if (robot_grid_) return;
+  // One bucket per robot's average responsibility area: nearest() then
+  // settles within a ring or two at any fleet size.
+  robot_grid_.emplace(config().field_area(), std::sqrt(config().area_per_robot));
+  for (std::size_t i = 0; i < robot_count(); ++i) {
+    robot_grid_->insert(static_cast<std::uint32_t>(i), robot_at(i).position());
+  }
 }
 
 void CoordinationAlgorithm::start_fault_tolerance() {
@@ -142,6 +165,7 @@ void CoordinationAlgorithm::start_fault_tolerance() {
   if (!faults.enabled() || ft_active_) return;
   ft_active_ = true;
   const auto now = ctx_.simulator->now();
+  lease_floor_ = now;
   lease_.assign(robot_count(), now);
   presumed_dead_.assign(robot_count(), false);
   cadence_ewma_.assign(robot_count(), faults.heartbeat_period);
@@ -176,6 +200,16 @@ double CoordinationAlgorithm::effective_lease_window(std::size_t index) const {
 
 robot::RobotNode* CoordinationAlgorithm::closest_live_robot(geometry::Vec2 pos) {
   const obs::ScopedTimer probe(obs::Probe::kClosestLiveRobot);
+  if (config().field.spatial_index) {
+    ensure_robot_grid();
+    // nearest_euclid compares fl(sqrt(d2)) with ties to the lowest index —
+    // exactly the brute loop's comparator (ascending scan, strict <, sqrt
+    // distances), so the two paths agree even at ULP-coincident distances.
+    const auto best = robot_grid_->nearest_euclid(pos, [this](std::uint32_t i) {
+      return !(ft_active_ && presumed_dead_[i]);
+    });
+    return best ? &robot_at(*best) : nullptr;
+  }
   robot::RobotNode* best = nullptr;
   double best_d = 0.0;
   for (std::size_t i = 0; i < robot_count(); ++i) {
@@ -190,12 +224,48 @@ robot::RobotNode* CoordinationAlgorithm::closest_live_robot(geometry::Vec2 pos) 
   return best;
 }
 
+std::optional<std::size_t> CoordinationAlgorithm::nearest_robot_index(
+    geometry::Vec2 pos) {
+  if (config().field.spatial_index) {
+    ensure_robot_grid();
+    const auto best = robot_grid_->nearest(pos);  // d2 key, ties to lowest index
+    if (!best) return std::nullopt;
+    return static_cast<std::size_t>(*best);
+  }
+  std::optional<std::size_t> best;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < robot_count(); ++i) {
+    const double d2 = geometry::distance2(robot_at(i).position(), pos);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
 void CoordinationAlgorithm::supervise() {
   const auto now = ctx_.simulator->now();
+  const auto& faults = config().robot_faults;
+  if (config().field.spatial_index) {
+    // Batched sweep: the smallest window any live robot could be held to
+    // (auto-tune clamps to >= 2 heartbeats; fixed windows are uniform).
+    // Every live lease is >= lease_floor_, so while the floor itself is
+    // within that window no lease can have expired — skip the scan.
+    const double min_window =
+        faults.lease_auto_tune
+            ? std::min(2.0 * faults.heartbeat_period, faults.lease_window())
+            : faults.lease_window();
+    if (now - lease_floor_ <= min_window) return;
+  }
+  sim::SimTime floor = sim::kNever;
   for (std::size_t i = 0; i < robot_count(); ++i) {
     if (presumed_dead_[i]) continue;
     const double window = effective_lease_window(i);
-    if (now - lease_[i] <= window) continue;
+    if (now - lease_[i] <= window) {
+      floor = std::min(floor, lease_[i]);
+      continue;
+    }
     presumed_dead_[i] = true;
     // Clamped to >= 0: at the boundary sweep the raw difference is a
     // negative epsilon, which printed as "-0s ago" and broke trace greps.
@@ -206,6 +276,7 @@ void CoordinationAlgorithm::supervise() {
         robot_at(i).id(), overdue, window);
     on_robot_presumed_dead(i);
   }
+  lease_floor_ = floor;
 }
 
 bool CoordinationAlgorithm::relay_adds_coverage(const wsn::SensorNode& sensor,

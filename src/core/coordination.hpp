@@ -1,9 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/config.hpp"
+#include "spatial/uniform_grid.hpp"
 #include "metrics/failure_log.hpp"
 #include "obs/tracer.hpp"
 #include "net/medium.hpp"
@@ -83,6 +86,10 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   /// belief, grants a fresh lease, restarts the heartbeat, then runs the
   /// algorithm-specific on_robot_rejoin path.
   void on_robot_repaired(robot::RobotNode& robot) override;
+
+  /// RobotPolicy: the robot's position changed — apply the incremental move
+  /// to the fleet's spatial index (no-op until the index is first needed).
+  void on_robot_moved(robot::RobotNode& robot) override;
 
   /// Arms the fault-tolerance machinery (no-op unless the fault model is
   /// enabled): starts every robot's liveness heartbeat, seeds the lease
@@ -172,6 +179,12 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   /// robot can be picked — its lease will expire and trigger recovery again.
   [[nodiscard]] robot::RobotNode* closest_live_robot(geometry::Vec2 pos);
 
+  /// Fleet index of the robot nearest `pos` under the squared-distance
+  /// comparator (ties to the lowest index), ignoring liveness — the dynamic
+  /// init sweep's assignment rule. Grid-backed when spatial_index is on;
+  /// nullopt only for an empty fleet.
+  [[nodiscard]] std::optional<std::size_t> nearest_robot_index(geometry::Vec2 pos);
+
   /// Periodic lease sweep: expires silent robots and fires
   /// on_robot_presumed_dead for each. Centralized overrides to check the
   /// manager's own lease first (a dead manager starves every robot lease).
@@ -199,11 +212,24 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   FaultStats fault_stats_;
 
  private:
+  /// Builds the fleet index on first use (spatial_index mode): one bucket
+  /// per robot's average responsibility area over the field rectangle,
+  /// seeded with the fleet's current positions and kept consistent by
+  /// on_robot_moved. Lazy so runs that never ask a proximity question
+  /// (centralized without faults) pay nothing.
+  void ensure_robot_grid();
+
   SystemContext ctx_;
   bool ft_active_ = false;
   std::vector<sim::SimTime> lease_;       // per robot index: last refresh time
   std::vector<bool> presumed_dead_;       // per robot index: system belief
   std::vector<double> cadence_ewma_;      // per robot index: observed refresh cadence
+  /// Lower bound on min(lease_) over live robots (+inf when all presumed
+  /// dead); leases only rise between sweeps, so while even the stalest
+  /// possible lease is inside the smallest possible window supervise() can
+  /// expire nobody and skips its scan (spatial_index batched sweep).
+  sim::SimTime lease_floor_ = 0.0;
+  std::optional<spatial::UniformGrid2D<std::uint32_t>> robot_grid_;  // fleet index -> pos
 };
 
 /// Factory for the algorithm selected in the config.

@@ -27,18 +27,12 @@ void DynamicDistributedAlgorithm::initialize() {
     for (std::size_t s = 0; s < field.size(); ++s) {
       auto& sensor = field.node(static_cast<NodeId>(s));
       if (!sensor.alive() || sensor.myrobot() != kNoNode) continue;
-      NodeId best = kNoNode;
-      double best_d2 = std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < robot_count(); ++i) {
-        const double d2 =
-            geometry::distance2(sensor.position(), robot_at(i).position());
-        if (d2 < best_d2) {
-          best_d2 = d2;
-          best = robot_at(i).id();
-        }
-      }
-      if (best == kNoNode) continue;
-      sensor.learn_robot(best, robot_at(robot_index(best)).position(), 1);
+      // Squared-distance comparator, ties to the lowest index — identical
+      // whether answered by the fleet grid or the brute scan.
+      const auto nearest = nearest_robot_index(sensor.position());
+      if (!nearest) continue;
+      const NodeId best = robot_at(*nearest).id();
+      sensor.learn_robot(best, robot_at(*nearest).position(), 1);
       sensor.set_myrobot(best);
       ctx().medium->account(metrics::MessageCategory::kInitialization, 2);
       trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "core",

@@ -136,14 +136,42 @@ void FixedDistributedAlgorithm::on_robot_presumed_dead(std::size_t index) {
   // now and where it last was.
   const auto seq = am.next_update_seq();
   auto& field = *ctx().field;
-  for (std::size_t s = 0; s < field.size(); ++s) {
-    auto& sensor = field.node(static_cast<NodeId>(s));
-    if (!sensor.alive()) continue;
-    const std::size_t cell = subarea_of(sensor.position());
-    if (std::find(adopted.begin(), adopted.end(), cell) == adopted.end()) continue;
+  const auto teach = [&](wsn::SensorNode& sensor) {
+    if (!sensor.alive()) return;
     sensor.learn_robot(am.id(), am.position(), seq);
     sensor.set_myrobot(am.id());
+  };
+  if (config().field.spatial_index) {
+    // Cells partition the sensors, so merging the adopted cells' (ascending)
+    // member lists and sorting restores the exact ascending-id visit order
+    // of the brute field scan below.
+    std::vector<NodeId> members;
+    for (const std::size_t cell : adopted) {
+      const auto& m = members_of(cell);
+      members.insert(members.end(), m.begin(), m.end());
+    }
+    std::sort(members.begin(), members.end());
+    for (const NodeId s : members) teach(field.node(s));
+    return;
   }
+  for (std::size_t s = 0; s < field.size(); ++s) {
+    auto& sensor = field.node(static_cast<NodeId>(s));
+    const std::size_t cell = subarea_of(sensor.position());
+    if (std::find(adopted.begin(), adopted.end(), cell) == adopted.end()) continue;
+    teach(sensor);
+  }
+}
+
+const std::vector<NodeId>& FixedDistributedAlgorithm::members_of(std::size_t cell) {
+  if (cell_members_.empty()) {
+    cell_members_.resize(owner_.size());
+    auto& field = *ctx().field;
+    for (std::size_t s = 0; s < field.size(); ++s) {
+      const auto id = static_cast<NodeId>(s);
+      cell_members_[subarea_of(field.node(id).position())].push_back(id);
+    }
+  }
+  return cell_members_.at(cell);
 }
 
 void FixedDistributedAlgorithm::on_robot_rejoin(std::size_t index) {
@@ -202,12 +230,19 @@ void FixedDistributedAlgorithm::apply_return(robot::RobotNode& robot, const Pack
                         1 + static_cast<std::uint64_t>(ctx().field->size()));
   const auto seq = robot.next_update_seq();
   auto& field = *ctx().field;
-  for (std::size_t s = 0; s < field.size(); ++s) {
-    auto& sensor = field.node(static_cast<NodeId>(s));
-    if (!sensor.alive()) continue;
-    if (subarea_of(sensor.position()) != cell) continue;
+  const auto teach = [&](wsn::SensorNode& sensor) {
+    if (!sensor.alive()) return;
     sensor.learn_robot(robot.id(), robot.position(), seq);
     sensor.set_myrobot(robot.id());
+  };
+  if (config().field.spatial_index) {
+    for (const NodeId s : members_of(cell)) teach(field.node(s));
+  } else {
+    for (std::size_t s = 0; s < field.size(); ++s) {
+      auto& sensor = field.node(static_cast<NodeId>(s));
+      if (subarea_of(sensor.position()) != cell) continue;
+      teach(sensor);
+    }
   }
   // Confirmation ack back to the adopter (real traffic; informational only —
   // the shared owner map is already consistent).

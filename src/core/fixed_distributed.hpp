@@ -67,8 +67,15 @@ class FixedDistributedAlgorithm final : public CoordinationAlgorithm {
   /// teach its sensors, and ack the adopter.
   void apply_return(robot::RobotNode& robot, const net::Packet& pkt);
 
+  /// Sensor ids of subarea `cell`, ascending. Built lazily in one ascending
+  /// field pass (sensors are static, so membership never changes); the
+  /// spatial_index fast path for the adoption/return flood loops, which
+  /// otherwise classify every sensor on every ownership change.
+  [[nodiscard]] const std::vector<net::NodeId>& members_of(std::size_t cell);
+
   std::unique_ptr<geometry::Partition> partition_;
   std::vector<std::size_t> owner_;  // cell -> fleet index (identity by default)
+  std::vector<std::vector<net::NodeId>> cell_members_;  // cell -> sensor ids, ascending
   std::uint32_t transfer_seq_ = 0;  // ownership-offer retry dedup
 };
 

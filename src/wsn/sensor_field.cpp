@@ -1,5 +1,6 @@
 #include "wsn/sensor_field.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -46,10 +47,29 @@ void SensorField::deploy(const std::vector<Vec2>& positions) {
   open_failure_.assign(slots_.size(), std::nullopt);
 
   // Static sensor-sensor adjacency: sensors never move and replacements land
-  // on the same coordinates, so this graph is computed once.
+  // on the same coordinates, so this graph is computed once. Both index
+  // structures use the same closed-ball d^2 <= r^2 predicate and return ids
+  // ascending, so the adjacency lists are identical either way.
+  adjacency_.resize(slots_.size());
+  if (config_.spatial_index && !slots_.empty()) {
+    geometry::Rect box{positions.front(), positions.front()};
+    for (const Vec2 p : positions) {
+      box.min = {std::min(box.min.x, p.x), std::min(box.min.y, p.y)};
+      box.max = {std::max(box.max.x, p.x), std::max(box.max.y, p.y)};
+    }
+    grid_.emplace(box, config_.sensor_tx_range);
+    for (const auto& s : slots_) grid_->insert(s->id(), s->position());
+    for (const auto& s : slots_) {
+      auto& adj = adjacency_[s->id()];
+      for (const NodeId m : grid_->within_radius(s->position(), config_.sensor_tx_range)) {
+        if (m == s->id()) continue;
+        adj.push_back({m, slots_[m]->position()});
+      }
+    }
+    return;
+  }
   geometry::SpatialHash index(config_.sensor_tx_range);
   for (const auto& s : slots_) index.upsert(s->id(), s->position());
-  adjacency_.resize(slots_.size());
   for (const auto& s : slots_) {
     auto& adj = adjacency_[s->id()];
     for (const NodeId m : index.query_ball(s->position(), config_.sensor_tx_range)) {
@@ -57,6 +77,24 @@ void SensorField::deploy(const std::vector<Vec2>& positions) {
       adj.push_back({m, slots_[m]->position()});
     }
   }
+}
+
+std::vector<NodeId> SensorField::slots_within(Vec2 center, double range) const {
+  std::vector<NodeId> out;
+  if (grid_) {
+    // Candidate cells are a superset of the ball; the exact predicate below
+    // is the same sqrt-form comparison the brute path runs, so the accepted
+    // set matches bit for bit. Candidates arrive cell-major, hence the sort.
+    grid_->for_each_candidate(center, range, [&](NodeId id, Vec2 pos) {
+      if (geometry::distance(pos, center) <= range) out.push_back(id);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  for (const auto& s : slots_) {
+    if (geometry::distance(s->position(), center) <= range) out.push_back(s->id());
+  }
+  return out;
 }
 
 void SensorField::initialize() {

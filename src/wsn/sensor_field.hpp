@@ -14,6 +14,7 @@
 #include "routing/neighbor_table.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "spatial/uniform_grid.hpp"
 #include "trace/event_log.hpp"
 #include "wsn/failure_model.hpp"
 #include "wsn/sensor_node.hpp"
@@ -60,6 +61,15 @@ struct FieldConfig {
   /// re-report resolves the *current* manager/owner/closest robot. Wired to
   /// the lease window alongside robot_stale_window.
   double failure_rereport_period = 0.0;
+
+  /// Spatial indexing (src/spatial): accelerate proximity queries — static
+  /// adjacency construction, manager-range sensor scans, fixed-subarea
+  /// membership, dynamic flood scoping, closest-live-robot, and batched
+  /// robot-knowledge aging — with a UniformGrid2D instead of brute-force
+  /// scans. The grid paths reproduce the brute-force comparators exactly
+  /// (see docs/SPATIAL.md), so flipping this switch changes nothing but
+  /// speed; CI diffs the golden CSVs both ways to keep it that way.
+  bool spatial_index = true;
 
   /// Extension beyond the paper: every sensor watches *all* of its static
   /// neighbors, not just its confirmed guardees. The paper's guardian-guardee
@@ -115,6 +125,14 @@ class SensorField {
 
   [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
   [[nodiscard]] bool is_sensor(net::NodeId id) const noexcept { return id < slots_.size(); }
+
+  /// Slot ids within `range` of `center` (closed ball under the sqrt-based
+  /// `distance(slot, center) <= range` test every call site has always
+  /// used), in ascending id order. Grid-accelerated when
+  /// FieldConfig::spatial_index is on; brute scan otherwise — both paths
+  /// evaluate the identical predicate over the identical candidate order.
+  [[nodiscard]] std::vector<net::NodeId> slots_within(geometry::Vec2 center,
+                                                      double range) const;
   [[nodiscard]] SensorNode& node(net::NodeId id);
   [[nodiscard]] const SensorNode& node(net::NodeId id) const;
   [[nodiscard]] const std::vector<routing::NeighborEntry>& static_neighbors(
@@ -184,6 +202,9 @@ class SensorField {
   Hooks hooks_;
 
   std::vector<std::unique_ptr<SensorNode>> slots_;
+  /// Sensor positions bucketed at TX-range granularity (spatial_index mode).
+  /// Built once in deploy(): slots never move, replacements keep coordinates.
+  std::optional<spatial::UniformGrid2D<net::NodeId>> grid_;
   std::vector<std::vector<routing::NeighborEntry>> adjacency_;
   std::vector<std::optional<metrics::FailureLog::FailureId>> open_failure_;
   std::size_t unreported_ = 0;

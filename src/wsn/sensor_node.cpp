@@ -53,7 +53,9 @@ bool SensorNode::learn_robot(NodeId robot, Vec2 loc, std::uint32_t seq) {
   auto it = known_robots_.find(robot);
   const bool fresh = it == known_robots_.end() || seq > it->second.seq;
   if (fresh) {
-    known_robots_[robot] = RobotKnowledge{loc, seq, field_->simulator().now()};
+    const auto now = field_->simulator().now();
+    known_robots_[robot] = RobotKnowledge{loc, seq, now};
+    robots_heard_floor_ = std::min(robots_heard_floor_, now);
     // Keep the routing table's robot entry in sync: the robot is a usable
     // next hop only while inside this sensor's own transmission range.
     if (geometry::distance(pos_, loc) <= field_->config().sensor_tx_range) {
@@ -107,6 +109,7 @@ void SensorNode::fail() {
   guardees_.clear();
   myrobot_ = kNoNode;
   known_robots_.clear();
+  robots_heard_floor_ = sim::kNever;
   relayed_seq_.clear();
   watch_reported_.clear();
   heard_.clear();
@@ -239,7 +242,14 @@ void SensorNode::tick() {
 void SensorNode::age_robot_knowledge() {
   const double window = field_->config().robot_stale_window;
   const auto now = field_->simulator().now();
+  // Batched aging (spatial_index): robots_heard_floor_ is a lower bound on
+  // every entry's heard_at, so while the *oldest possible* entry is still
+  // inside the window the scan can expire nothing — skip it. heard_at only
+  // rises between scans, which keeps the bound conservative; a full scan
+  // re-tightens it to the exact minimum.
+  if (field_->config().spatial_index && robots_heard_floor_ + window >= now) return;
   bool dropped_myrobot = false;
+  sim::SimTime floor = sim::kNever;
   for (auto it = known_robots_.begin(); it != known_robots_.end();) {
     if (it->second.heard_at + window < now) {
       if (it->first == myrobot_) {
@@ -249,9 +259,11 @@ void SensorNode::age_robot_knowledge() {
       table_.remove(it->first);
       it = known_robots_.erase(it);
     } else {
+      floor = std::min(floor, it->second.heard_at);
       ++it;
     }
   }
+  robots_heard_floor_ = floor;
   // Re-pick among the robots still believed alive (the dynamic algorithm's
   // "re-report to the next-closest robot" behavior; harmless elsewhere).
   if (dropped_myrobot) {
@@ -352,6 +364,7 @@ void SensorNode::rebuild_neighbor_table() {
     field_->medium().account(metrics::MessageCategory::kReplacement, 2);
     const SensorNode& mentor = field_->node(nearest->id);
     known_robots_ = mentor.known_robots_;
+    robots_heard_floor_ = mentor.robots_heard_floor_;
     myrobot_ = mentor.myrobot_;
   }
 }

@@ -34,6 +34,9 @@
 //   --lease-auto-tune   tune each robot's lease window from its observed
 //                       update cadence (EWMA; clamped to the configured window)
 //   --collisions        model broadcast-frame collisions at receivers
+//   --no-spatial-index  disable the uniform-grid spatial index and use the
+//                       brute-force scans (results are byte-identical; this
+//                       flag exists for the equivalence CI job and benchmarks)
 //   --csv=PATH          append one result row per run to a CSV file
 //   --trace=PATH        write the failure-lifecycle event log as JSON lines
 //   --trace-out=PATH    write repair-lifecycle spans as Chrome trace_event
@@ -218,6 +221,7 @@ int main(int argc, char** argv) {
     cfg.field.reliable_reports = args.has("reliable-reports");
     cfg.idle_reposition = args.has("idle-reposition");
     cfg.radio.model_collisions = args.has("collisions");
+    cfg.field.spatial_index = !args.has("no-spatial-index");
 
     const double inf = std::numeric_limits<double>::infinity();
     auto& faults = cfg.robot_faults;
