@@ -139,6 +139,73 @@ void Simulation::attach_tracer(obs::Tracer& tracer) {
 
 void Simulation::run_until(sim::SimTime t) { sim_.run_until(t); }
 
+bool Simulation::inject_sensor_failure(net::NodeId slot) {
+  if (!field_->is_sensor(slot)) {
+    throw std::invalid_argument(trace::strfmt(
+        "inject_sensor_failure: id %u is not a sensor (field has %zu slots)", slot,
+        field_->size()));
+  }
+  if (!field_->node(slot).alive()) return false;
+  field_->fail_slot(slot);
+  return true;
+}
+
+bool Simulation::inject_robot_crash(std::size_t index) {
+  if (index >= robots_.size()) {
+    throw std::invalid_argument(trace::strfmt(
+        "inject_robot_crash: index %zu out of range (fleet of %zu)", index,
+        robots_.size()));
+  }
+  if (robots_[index]->failed()) return false;
+  kill_robot(index);
+  return true;
+}
+
+bool Simulation::inject_robot_repair(std::size_t index) {
+  if (index >= robots_.size()) {
+    throw std::invalid_argument(trace::strfmt(
+        "inject_robot_repair: index %zu out of range (fleet of %zu)", index,
+        robots_.size()));
+  }
+  if (!robots_[index]->failed()) return false;
+  revive_robot(index);
+  return true;
+}
+
+StateDigest Simulation::digest() const {
+  StateDigest d;
+  d.clock = sim_.now();
+  d.events_executed = sim_.executed();
+  d.pending_events = sim_.pending();
+  d.failures = log_.size();
+  d.repaired = log_.repaired_count();
+  const auto& faults = algo_->fault_stats();
+  d.robot_failures = faults.robot_failures;
+  d.robot_repairs = faults.robot_repairs;
+  for (const auto& robot : robots_) {
+    if (!robot->failed()) ++d.live_robots;
+    d.pending_tasks += robot->queue().size() + (robot->busy() ? 1 : 0);
+  }
+  d.transmissions = counters_.total();
+  return d;
+}
+
+std::string StateDigest::to_string() const {
+  return trace::strfmt(
+      "clock=%.17g executed=%llu pending_events=%llu failures=%llu repaired=%llu "
+      "robot_failures=%llu robot_repairs=%llu live_robots=%llu pending_tasks=%llu "
+      "tx=%llu",
+      clock, static_cast<unsigned long long>(events_executed),
+      static_cast<unsigned long long>(pending_events),
+      static_cast<unsigned long long>(failures),
+      static_cast<unsigned long long>(repaired),
+      static_cast<unsigned long long>(robot_failures),
+      static_cast<unsigned long long>(robot_repairs),
+      static_cast<unsigned long long>(live_robots),
+      static_cast<unsigned long long>(pending_tasks),
+      static_cast<unsigned long long>(transmissions));
+}
+
 ExperimentResult Simulation::result() const {
   ExperimentResult r;
   r.algorithm = config_.algorithm;

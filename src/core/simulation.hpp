@@ -78,6 +78,30 @@ struct ExperimentResult {
   [[nodiscard]] std::string summary() const;
 };
 
+/// Compact deterministic fingerprint of a live simulation, cheap enough to
+/// take between events. The service layer (src/service) embeds it in
+/// snapshots and compares it after a restore-replay to prove the resumed run
+/// reconverged on the interrupted one; the daemon's `status` command prints
+/// it. Two runs with identical configs and identical injected-event journals
+/// produce identical digests at the same virtual time.
+struct StateDigest {
+  double clock = 0.0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t pending_events = 0;
+  std::uint64_t failures = 0;        // sensor failures opened so far
+  std::uint64_t repaired = 0;        // sensor failures closed by a replacement
+  std::uint64_t robot_failures = 0;  // robots killed so far
+  std::uint64_t robot_repairs = 0;   // robots resurrected so far
+  std::uint64_t live_robots = 0;
+  std::uint64_t pending_tasks = 0;   // queued + in-service repair tasks
+  std::uint64_t transmissions = 0;   // all categories
+  friend bool operator==(const StateDigest&, const StateDigest&) = default;
+
+  /// One line of space-separated key=value tokens (snapshot format; the
+  /// clock prints with %.17g so it round-trips bitwise).
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// One fully wired simulation: medium, sensor field, robots, and the chosen
 /// coordination algorithm — construction performs deployment and the
 /// algorithm's initialization stage, so the system is ready to run.
@@ -104,6 +128,31 @@ class Simulation {
 
   /// Snapshot of all metrics at the current virtual time.
   [[nodiscard]] ExperimentResult result() const;
+
+  /// Deterministic state fingerprint at the current virtual time.
+  [[nodiscard]] StateDigest digest() const;
+
+  // --- external event injection (service mode; see docs/SERVICE.md) ---------
+  //
+  // These are the daemon's ingestion points: they apply an event *now*, at
+  // the current virtual time, instead of pre-scheduling it at construction.
+  // All three are safe to call between run_until() steps only (never from
+  // inside an event callback).
+
+  /// Kills sensor `slot`'s unit now. Returns false (and does nothing) when
+  /// the slot is already dead; throws std::invalid_argument for non-sensor
+  /// ids.
+  bool inject_sensor_failure(net::NodeId slot);
+
+  /// Kills robot `index` now (same path as scheduled crashes, including the
+  /// MTTR draw when the repair model is on). Returns false when the robot is
+  /// already dead; throws std::invalid_argument for out-of-range indices.
+  bool inject_robot_crash(std::size_t index);
+
+  /// Resurrects robot `index` now (same path as scheduled repairs). Returns
+  /// false when the robot is alive; throws std::invalid_argument for
+  /// out-of-range indices.
+  bool inject_robot_repair(std::size_t index);
 
   /// Streams failure-lifecycle and robot-movement events into `log` from now
   /// on (see trace::EventLog). The log must outlive the simulation.

@@ -172,6 +172,25 @@ bool Tracer::save_chrome_trace(const std::string& path) const {
   return static_cast<bool>(f);
 }
 
+void Tracer::compact(sim::SimTime before) {
+  std::vector<Span> kept;
+  kept.reserve(spans_.size());
+  for (const Span& s : spans_) {
+    if (!s.closed() || s.end >= before) kept.push_back(s);
+  }
+  const std::size_t removed = spans_.size() - kept.size();
+  if (removed == 0) return;
+  spans_ = std::move(kept);
+  // Only closed spans were dropped, so every open_ entry survives — but its
+  // index into spans_ shifted. Rebuild the map from the retained spans.
+  open_.clear();
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    if (!spans_[i].closed()) open_.emplace(key(spans_[i].trace_id, spans_[i].stage), i);
+  }
+  closed_ -= removed;
+  retired_ += removed;
+}
+
 void Tracer::clear() {
   spans_.clear();
   open_.clear();

@@ -89,6 +89,11 @@ class Tracer {
   [[nodiscard]] std::size_t duplicate_opens() const noexcept { return duplicate_opens_; }
   [[nodiscard]] std::size_t stray_closes() const noexcept { return stray_closes_; }
 
+  /// Closed spans dropped by compact() since construction. opened() /
+  /// closed_count() always describe the *retained* spans, so the cumulative
+  /// totals are opened() + retired() and closed_count() + retired().
+  [[nodiscard]] std::size_t retired() const noexcept { return retired_; }
+
   /// Closed-span durations of one stage, in completion order (feed these
   /// into metrics::Summary for percentiles).
   [[nodiscard]] std::vector<double> stage_durations(Stage stage) const;
@@ -110,6 +115,14 @@ class Tracer {
   void write_chrome_trace(std::ostream& out) const;
   [[nodiscard]] bool save_chrome_trace(const std::string& path) const;
 
+  /// Long-running service mode: retires closed spans that ended before `t`,
+  /// bounding the tracer's memory to the retention window while every open
+  /// span (whatever its age) survives. After compaction stage_durations()
+  /// and the exports cover only the retained window — which is exactly what
+  /// a live-telemetry percentile wants. Invariants are unaffected: open-span
+  /// bookkeeping is rebuilt, and retired() keeps the cumulative count.
+  void compact(sim::SimTime before);
+
   void clear();
 
  private:
@@ -127,6 +140,7 @@ class Tracer {
   std::size_t closed_ = 0;
   std::size_t duplicate_opens_ = 0;
   std::size_t stray_closes_ = 0;
+  std::size_t retired_ = 0;
 };
 
 }  // namespace sensrep::obs

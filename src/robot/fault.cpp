@@ -40,7 +40,7 @@ bool FaultConfig::repairs_enabled() const noexcept {
 
 bool FaultConfig::enabled() const noexcept {
   return spontaneous() || !crashes.empty() || manager_crash_at.has_value() ||
-         repairs_enabled();
+         repairs_enabled() || external;
 }
 
 void FaultConfig::validate() const {

@@ -93,6 +93,14 @@ struct FaultConfig {
   /// update interval. >= 2 tolerates one lost/late heartbeat.
   double lease_multiplier = 3.0;
 
+  /// Service mode (src/service): arm the whole fault-tolerance machinery —
+  /// heartbeats, leases, supervision sweeps, sensor-side knowledge aging and
+  /// failure re-reports — even when no fault source is pre-scheduled, so
+  /// crash/repair events injected at runtime (the daemon's `crash-robot` /
+  /// `repair-robot` commands) are detected and recovered exactly like
+  /// scheduled ones. Off by default: batch runs pay nothing for it.
+  bool external = false;
+
   /// Auto-tune each robot's lease window from its *observed* update cadence
   /// (EWMA of inter-refresh intervals): a robot that updates every movement
   /// leg (~20 s at 1 m/s) is presumed dead much sooner than a parked one

@@ -46,7 +46,8 @@ std::vector<std::size_t> BatchResult::slowest(std::size_t n) const {
 Executor::Executor(ExecutorOptions options)
     : workers_(resolve_workers(options.jobs)),
       retries_(options.retries),
-      progress_(options.progress) {}
+      progress_(options.progress),
+      cancelled_(std::move(options.cancelled)) {}
 
 core::ExperimentResult Executor::run_simulation(const Job& job) {
   job.config.validate();
@@ -83,6 +84,10 @@ BatchResult Executor::run(const std::vector<Job>& jobs, const RunFn& fn,
       const std::size_t max_attempts = retries_ + 1;
       const auto started = std::chrono::steady_clock::now();
       for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        if (cancelled_ && cancelled_()) {
+          slot.failure = JobFailure{job.index, job.label, attempt - 1, "cancelled"};
+          break;
+        }
         slot.stats.attempts = attempt;
         try {
           slot.result = fn(job);
@@ -123,7 +128,21 @@ BatchResult Executor::run(const std::vector<Job>& jobs, const RunFn& fn,
 }
 
 BatchResult Executor::run(const ParameterGrid& grid, ResultSink* sink) {
-  return run(grid.expand(), &Executor::run_simulation, sink);
+  if (!cancelled_) return run(grid.expand(), &Executor::run_simulation, sink);
+  // With a cancellation probe, wire it into each simulation's event loop so
+  // an in-flight cell stops mid-run instead of running to its horizon.
+  const std::function<bool()>& probe = cancelled_;
+  const RunFn fn = [&probe](const Job& job) {
+    job.config.validate();
+    core::Simulation sim(job.config);
+    sim.simulator().set_interrupt(probe);
+    sim.run();
+    if (sim.simulator().interrupted()) {
+      throw std::runtime_error("cancelled");
+    }
+    return sim.result();
+  };
+  return run(grid.expand(), fn, sink);
 }
 
 core::ReplicatedResult run_replicated(const core::SimulationConfig& config,

@@ -23,6 +23,13 @@ struct ExecutorOptions {
   std::size_t retries = 0;
   /// Optional live progress, ticked once per finished job. Not owned.
   ProgressMeter* progress = nullptr;
+  /// Optional cooperative-cancellation probe (e.g. a SIGINT flag). Polled
+  /// before every job attempt and — for grid runs — inside each simulation's
+  /// event loop, so Ctrl-C stops a sweep within milliseconds instead of at
+  /// the next job boundary. Cancelled jobs are recorded as failures with
+  /// error "cancelled"; already-finished jobs keep streaming to the sink, so
+  /// a partial CSV survives. Must be thread-safe (called from workers).
+  std::function<bool()> cancelled;
 };
 
 /// Outcome of one batch. results[i] corresponds to job index i and is empty
@@ -86,6 +93,7 @@ class Executor {
   std::size_t workers_;
   std::size_t retries_;
   ProgressMeter* progress_;
+  std::function<bool()> cancelled_;
 };
 
 /// Drop-in parallel equivalent of core::run_replicated — same seed

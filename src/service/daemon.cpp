@@ -1,0 +1,210 @@
+#include "service/daemon.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "service/signal.hpp"
+#include "trace/format.hpp"
+
+namespace sensrep::service {
+
+Daemon::Daemon(const DaemonOptions& options) : opts_(options) {
+  construct();
+  arm_interrupt();
+}
+
+Daemon::Daemon(const Snapshot& snapshot) : opts_(snapshot.options) {
+  construct();
+  // Replay with telemetry muted: the exporter still samples every period —
+  // reconverging its window state on the original's — but re-emits nothing.
+  if (exporter_) exporter_->set_muted(true);
+  for (const JournalEntry& e : snapshot.journal) {
+    // Strictly-greater guard: an injection at exactly the current clock must
+    // not trigger a run_until(now) here, which would execute events at this
+    // instant that the original run only executed *after* the injection.
+    if (e.t > sim_->simulator().now()) sim_->run_until(e.t);
+    switch (e.command.kind) {
+      case CommandKind::kFail:
+        sim_->inject_sensor_failure(static_cast<net::NodeId>(e.command.id));
+        break;
+      case CommandKind::kCrashRobot:
+        sim_->inject_robot_crash(e.command.id);
+        break;
+      case CommandKind::kRepairRobot:
+        sim_->inject_robot_repair(e.command.id);
+        break;
+      case CommandKind::kAdvance:
+        break;  // the run_until above is the whole effect
+      default:
+        throw std::runtime_error("snapshot: non-mutation command in journal");
+    }
+  }
+  if (snapshot.clock > sim_->simulator().now()) sim_->run_until(snapshot.clock);
+  const core::StateDigest replayed = sim_->digest();
+  if (!(replayed == snapshot.digest)) {
+    throw std::runtime_error("snapshot restore diverged from the recorded run\n  want " +
+                             snapshot.digest.to_string() + "\n  got  " +
+                             replayed.to_string());
+  }
+  journal_ = snapshot.journal;
+  if (exporter_) exporter_->set_muted(false);
+  arm_interrupt();
+}
+
+Daemon::~Daemon() {
+  if (jsonl_) jsonl_->close();
+}
+
+void Daemon::construct() {
+  core::SimulationConfig cfg = opts_.simulation_config();
+  cfg.validate();
+  sim_ = std::make_unique<core::Simulation>(cfg);
+  if (opts_.trace_stages) sim_->attach_tracer(tracer_);
+  if (opts_.telemetry_period > 0.0) {
+    exporter_ = std::make_unique<TelemetryExporter>(
+        *sim_, TelemetryExporter::Options{opts_.telemetry_period,
+                                          opts_.retention_window});
+    if (opts_.trace_stages) exporter_->set_tracer(&tracer_);
+    if (!opts_.telemetry_jsonl.empty()) {
+      jsonl_file_.open(opts_.telemetry_jsonl);
+      if (!jsonl_file_) {
+        throw std::runtime_error("cannot open telemetry sink '" + opts_.telemetry_jsonl +
+                                 "'");
+      }
+      jsonl_ = std::make_unique<JsonlSink>(jsonl_file_);
+      exporter_->set_jsonl(jsonl_.get());
+    }
+    exporter_->start();
+  }
+}
+
+void Daemon::arm_interrupt() {
+  sim_->simulator().set_interrupt([] { return shutdown_requested(); });
+}
+
+std::optional<std::string> Daemon::handle_line(std::string_view line) {
+  std::optional<Command> cmd;
+  try {
+    cmd = parse_command(line);
+  } catch (const std::exception& e) {
+    return std::string("err ") + e.what();
+  }
+  if (!cmd) return std::nullopt;
+  if (is_mutation(cmd->kind)) return apply_mutation(*cmd);
+  switch (cmd->kind) {
+    case CommandKind::kStatus:
+      return "ok " + status_line();
+    case CommandKind::kTelemetry: {
+      if (!exporter_) return std::string("err telemetry disabled (--telemetry-period)");
+      return exporter_->sample_now().protocol_line() + "\nok telemetry";
+    }
+    case CommandKind::kSnapshot: {
+      if (!make_snapshot().save(cmd->path)) {
+        return "err snapshot: cannot write '" + cmd->path + "'";
+      }
+      return "ok snapshot " + cmd->path;
+    }
+    case CommandKind::kQuit:
+      quit_ = true;
+      return std::string("ok quit");
+    default:
+      return std::string("err unhandled command");
+  }
+}
+
+std::string Daemon::apply_mutation(const Command& c) {
+  const double now = sim_->simulator().now();
+  try {
+    switch (c.kind) {
+      case CommandKind::kFail: {
+        if (!sim_->inject_sensor_failure(static_cast<net::NodeId>(c.id))) {
+          return trace::strfmt("err sensor %llu already dead",
+                               static_cast<unsigned long long>(c.id));
+        }
+        journal_.push_back({now, c});
+        return trace::strfmt("ok fail %llu", static_cast<unsigned long long>(c.id));
+      }
+      case CommandKind::kCrashRobot: {
+        if (!sim_->inject_robot_crash(c.id)) {
+          return trace::strfmt("err robot %llu already dead",
+                               static_cast<unsigned long long>(c.id));
+        }
+        journal_.push_back({now, c});
+        return trace::strfmt("ok crash-robot %llu",
+                             static_cast<unsigned long long>(c.id));
+      }
+      case CommandKind::kRepairRobot: {
+        if (!sim_->inject_robot_repair(c.id)) {
+          return trace::strfmt("err robot %llu already alive",
+                               static_cast<unsigned long long>(c.id));
+        }
+        journal_.push_back({now, c});
+        return trace::strfmt("ok repair-robot %llu",
+                             static_cast<unsigned long long>(c.id));
+      }
+      case CommandKind::kAdvance: {
+        const double target = now + c.seconds;
+        if (target > opts_.horizon) {
+          return trace::strfmt("err advance: %.17g is beyond the horizon %.17g", target,
+                               opts_.horizon);
+        }
+        sim_->run_until(target);
+        const bool interrupted = sim_->simulator().interrupted();
+        const double reached = sim_->simulator().now();
+        if (interrupted) {
+          // Land on a replayable boundary: finish everything scheduled at
+          // exactly the interruption instant with the probe disarmed, so a
+          // journal replay's run_until(reached) reproduces this state.
+          sim_->simulator().set_interrupt({});
+          sim_->run_until(reached);
+          arm_interrupt();
+        }
+        if (reached > now) {
+          Command done = c;
+          done.seconds = reached - now;
+          journal_.push_back({reached, done});
+        }
+        return interrupted ? trace::strfmt("ok advance %.17g interrupted", reached)
+                           : trace::strfmt("ok advance %.17g", reached);
+      }
+      default:
+        return std::string("err unhandled mutation");
+    }
+  } catch (const std::exception& e) {
+    return std::string("err ") + e.what();
+  }
+}
+
+void Daemon::serve(std::istream& in, std::ostream& out) {
+  if (exporter_) {
+    exporter_->set_line_sink([&out](const std::string& line) {
+      out << line << '\n';
+      out.flush();
+    });
+  }
+  std::string line;
+  while (!quit_ && !shutdown_requested() && std::getline(in, line)) {
+    const auto reply = handle_line(line);
+    if (reply) {
+      out << *reply << '\n';
+      out.flush();
+    }
+  }
+  out << "bye " << status_line() << '\n';
+  out.flush();
+  if (exporter_) exporter_->set_line_sink(nullptr);
+}
+
+Snapshot Daemon::make_snapshot() const {
+  Snapshot snap;
+  snap.options = opts_;
+  snap.options.telemetry_jsonl.clear();  // sinks are the restorer's choice
+  snap.journal = journal_;
+  snap.clock = sim_->simulator().now();
+  snap.digest = sim_->digest();
+  return snap;
+}
+
+}  // namespace sensrep::service

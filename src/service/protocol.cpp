@@ -1,0 +1,155 @@
+#include "service/protocol.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "trace/format.hpp"
+
+namespace sensrep::service {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) != 0) ++i;
+    std::size_t start = i;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])) == 0) ++i;
+    if (i > start) out.emplace_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& token, const char* what) {
+  if (token.empty() || token[0] == '-') {
+    throw std::invalid_argument(trace::strfmt("%s: expected a non-negative integer, got '%s'",
+                                              what, token.c_str()));
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end == token.c_str() || *end != '\0') {
+    throw std::invalid_argument(trace::strfmt("%s: expected a non-negative integer, got '%s'",
+                                              what, token.c_str()));
+  }
+  return v;
+}
+
+double parse_positive_seconds(const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || !std::isfinite(v)) {
+    throw std::invalid_argument(
+        trace::strfmt("advance: expected seconds, got '%s'", token.c_str()));
+  }
+  if (!(v > 0.0)) {
+    throw std::invalid_argument("advance: seconds must be > 0");
+  }
+  return v;
+}
+
+void expect_arity(const std::vector<std::string>& tokens, std::size_t n, const char* usage) {
+  if (tokens.size() != n) {
+    throw std::invalid_argument(trace::strfmt("usage: %s", usage));
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(CommandKind k) noexcept {
+  switch (k) {
+    case CommandKind::kFail: return "fail";
+    case CommandKind::kCrashRobot: return "crash-robot";
+    case CommandKind::kRepairRobot: return "repair-robot";
+    case CommandKind::kAdvance: return "advance";
+    case CommandKind::kStatus: return "status";
+    case CommandKind::kTelemetry: return "telemetry";
+    case CommandKind::kSnapshot: return "snapshot";
+    case CommandKind::kQuit: return "quit";
+  }
+  return "?";
+}
+
+bool is_mutation(CommandKind k) noexcept {
+  switch (k) {
+    case CommandKind::kFail:
+    case CommandKind::kCrashRobot:
+    case CommandKind::kRepairRobot:
+    case CommandKind::kAdvance:
+      return true;
+    case CommandKind::kStatus:
+    case CommandKind::kTelemetry:
+    case CommandKind::kSnapshot:
+    case CommandKind::kQuit:
+      return false;
+  }
+  return false;
+}
+
+std::optional<Command> parse_command(std::string_view line) {
+  // Strip a trailing comment only when it starts the line; mid-line '#'
+  // would silently truncate snapshot paths.
+  const auto tokens = tokenize(line);
+  if (tokens.empty() || tokens.front().front() == '#') return std::nullopt;
+
+  Command c;
+  const std::string& verb = tokens.front();
+  if (verb == "fail") {
+    expect_arity(tokens, 2, "fail <sensor-slot>");
+    c.kind = CommandKind::kFail;
+    c.id = parse_u64(tokens[1], "fail");
+  } else if (verb == "crash-robot") {
+    expect_arity(tokens, 2, "crash-robot <index>");
+    c.kind = CommandKind::kCrashRobot;
+    c.id = parse_u64(tokens[1], "crash-robot");
+  } else if (verb == "repair-robot") {
+    expect_arity(tokens, 2, "repair-robot <index>");
+    c.kind = CommandKind::kRepairRobot;
+    c.id = parse_u64(tokens[1], "repair-robot");
+  } else if (verb == "advance") {
+    expect_arity(tokens, 2, "advance <seconds>");
+    c.kind = CommandKind::kAdvance;
+    c.seconds = parse_positive_seconds(tokens[1]);
+  } else if (verb == "status") {
+    expect_arity(tokens, 1, "status");
+    c.kind = CommandKind::kStatus;
+  } else if (verb == "telemetry") {
+    expect_arity(tokens, 1, "telemetry");
+    c.kind = CommandKind::kTelemetry;
+  } else if (verb == "snapshot") {
+    expect_arity(tokens, 2, "snapshot <path>");
+    c.kind = CommandKind::kSnapshot;
+    c.path = tokens[1];
+  } else if (verb == "quit") {
+    expect_arity(tokens, 1, "quit");
+    c.kind = CommandKind::kQuit;
+  } else {
+    throw std::invalid_argument(trace::strfmt("unknown command '%s'", verb.c_str()));
+  }
+  return c;
+}
+
+std::string format_command(const Command& c) {
+  switch (c.kind) {
+    case CommandKind::kFail:
+    case CommandKind::kCrashRobot:
+    case CommandKind::kRepairRobot:
+      return trace::strfmt("%s %llu", std::string(to_string(c.kind)).c_str(),
+                           static_cast<unsigned long long>(c.id));
+    case CommandKind::kAdvance:
+      return trace::strfmt("advance %.17g", c.seconds);
+    case CommandKind::kSnapshot:
+      return "snapshot " + c.path;
+    case CommandKind::kStatus:
+    case CommandKind::kTelemetry:
+    case CommandKind::kQuit:
+      return std::string(to_string(c.kind));
+  }
+  return "?";
+}
+
+}  // namespace sensrep::service

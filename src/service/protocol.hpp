@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sensrep::service {
+
+/// The daemon's line-oriented command vocabulary (docs/SERVICE.md §2).
+enum class CommandKind : std::uint8_t {
+  kFail,         // fail <sensor-slot>         kill a sensor's unit now
+  kCrashRobot,   // crash-robot <index>        kill robot <index> now
+  kRepairRobot,  // repair-robot <index>       resurrect robot <index> now
+  kAdvance,      // advance <seconds>          run the virtual clock forward
+  kStatus,       // status                     print the state digest
+  kTelemetry,    // telemetry                  print one telemetry sample now
+  kSnapshot,     // snapshot <path>            write a restorable snapshot
+  kQuit,         // quit                       leave the serve loop
+};
+
+[[nodiscard]] std::string_view to_string(CommandKind k) noexcept;
+
+/// True for commands that change simulation state and therefore belong in
+/// the snapshot's replay journal (fail, crash-robot, repair-robot, advance).
+[[nodiscard]] bool is_mutation(CommandKind k) noexcept;
+
+/// One parsed command. Only the operand matching the kind is meaningful.
+struct Command {
+  CommandKind kind = CommandKind::kStatus;
+  std::uint64_t id = 0;    // kFail (sensor slot), kCrashRobot/kRepairRobot (index)
+  double seconds = 0.0;    // kAdvance (strictly positive)
+  std::string path;        // kSnapshot
+
+  friend bool operator==(const Command&, const Command&) = default;
+};
+
+/// Parses one protocol line. Blank lines and '#' comments yield nullopt
+/// (skip, no reply). Malformed input throws std::invalid_argument with a
+/// message suitable for an `err ...` reply. `advance 0` is rejected: a
+/// zero-second advance would run events at the current instant that a
+/// snapshot replay could not reproduce, breaking the determinism contract.
+[[nodiscard]] std::optional<Command> parse_command(std::string_view line);
+
+/// Canonical one-line form: parse_command(format_command(c)) == c. Advance
+/// seconds print with %.17g so the journal round-trips bitwise.
+[[nodiscard]] std::string format_command(const Command& c);
+
+}  // namespace sensrep::service

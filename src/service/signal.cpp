@@ -1,0 +1,32 @@
+#include "service/signal.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace sensrep::service {
+
+namespace {
+
+std::atomic<int> g_shutdown{0};
+
+}  // namespace
+
+extern "C" void sensrep_service_signal_handler(int /*signum*/) {
+  // Only an async-signal-safe store; everything else is cooperative.
+  g_shutdown.store(1, std::memory_order_relaxed);
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, &sensrep_service_signal_handler);
+  std::signal(SIGTERM, &sensrep_service_signal_handler);
+}
+
+bool shutdown_requested() noexcept {
+  return g_shutdown.load(std::memory_order_relaxed) != 0;
+}
+
+void request_shutdown() noexcept { g_shutdown.store(1, std::memory_order_relaxed); }
+
+void reset_shutdown() noexcept { g_shutdown.store(0, std::memory_order_relaxed); }
+
+}  // namespace sensrep::service

@@ -1,0 +1,22 @@
+#pragma once
+
+namespace sensrep::service {
+
+/// Installs SIGINT/SIGTERM handlers that set a process-wide shutdown flag.
+/// Safe to call more than once; the handlers only ever set the flag, so all
+/// real cleanup happens cooperatively in the interrupted code
+/// (sim::Simulator::set_interrupt, runner::ExecutorOptions::cancelled,
+/// service::Daemon::serve all poll shutdown_requested()).
+void install_signal_handlers();
+
+/// True once a SIGINT/SIGTERM arrived (or request_shutdown() ran). Async-
+/// signal-safe and thread-safe; cheap enough to poll from event loops.
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// Sets the flag programmatically (tests, embedders).
+void request_shutdown() noexcept;
+
+/// Clears the flag (tests re-arming between cases).
+void reset_shutdown() noexcept;
+
+}  // namespace sensrep::service

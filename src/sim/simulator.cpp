@@ -49,6 +49,7 @@ bool Simulator::cancel(EventId id) noexcept {
 std::uint64_t Simulator::run_until(SimTime horizon) {
   std::uint64_t n = 0;
   stop_requested_ = false;
+  interrupted_ = false;
   while (!queue_.empty() && !stop_requested_) {
     if (queue_.next_time() > horizon) break;
     auto ev = queue_.pop();
@@ -56,20 +57,29 @@ std::uint64_t Simulator::run_until(SimTime horizon) {
     ev.callback();
     ++executed_;
     ++n;
+    if (interrupt_ && n % interrupt_stride_ == 0 && interrupt_()) {
+      interrupted_ = true;
+      break;
+    }
   }
-  if (now_ < horizon && !stop_requested_) now_ = horizon;
+  if (now_ < horizon && !stop_requested_ && !interrupted_) now_ = horizon;
   return n;
 }
 
 std::uint64_t Simulator::run_all() {
   std::uint64_t n = 0;
   stop_requested_ = false;
+  interrupted_ = false;
   while (!queue_.empty() && !stop_requested_) {
     auto ev = queue_.pop();
     now_ = ev.time;
     ev.callback();
     ++executed_;
     ++n;
+    if (interrupt_ && n % interrupt_stride_ == 0 && interrupt_()) {
+      interrupted_ = true;
+      break;
+    }
   }
   return n;
 }

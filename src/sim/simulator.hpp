@@ -56,6 +56,22 @@ class Simulator {
   /// Requests that run_until()/run_all() return after the current event.
   void stop() noexcept { stop_requested_ = true; }
 
+  /// Installs a cooperative interrupt probe for long advances: run_until()
+  /// and run_all() evaluate `check` once every `stride` executed events and
+  /// return early when it yields true, leaving the clock at the last executed
+  /// event instead of jumping to the horizon. The probe must be cheap (an
+  /// atomic load — the service layer passes its shutdown flag). Pass an empty
+  /// function to uninstall. Unlike stop(), the probe persists across run_*
+  /// calls, so an interrupted advance can be drained or resumed.
+  void set_interrupt(std::function<bool()> check, std::uint64_t stride = 256) {
+    interrupt_ = std::move(check);
+    interrupt_stride_ = stride == 0 ? 1 : stride;
+  }
+
+  /// True when the most recent run_until()/run_all() returned early because
+  /// the interrupt probe fired (reset at the start of each run_* call).
+  [[nodiscard]] bool interrupted() const noexcept { return interrupted_; }
+
   /// Live pending events (diagnostics).
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
@@ -74,6 +90,9 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
+  std::function<bool()> interrupt_;
+  std::uint64_t interrupt_stride_ = 256;
+  bool interrupted_ = false;
 };
 
 }  // namespace sensrep::sim

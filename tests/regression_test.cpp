@@ -207,8 +207,8 @@ TEST_P(ClosestLiveRobot, SupervisionKeepsWatchingARevivedRobot) {
 }
 
 INSTANTIATE_TEST_SUITE_P(GridAndBrute, ClosestLiveRobot, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "spatial_index" : "brute_force";
+                         [](const ::testing::TestParamInfo<bool>& tpi) {
+                           return tpi.param ? "spatial_index" : "brute_force";
                          });
 
 }  // namespace

@@ -69,7 +69,7 @@ TEST(UniformGrid, InsertRemoveContains) {
   g.remove(3);
   EXPECT_FALSE(g.contains(3));
   g.remove(3);  // absent: no-op by contract
-  EXPECT_THROW(g.position(3), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(g.position(3)), std::out_of_range);
 }
 
 TEST(UniformGrid, MoveUnknownIdThrows) {
@@ -395,8 +395,8 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SpatialEquivalence,
                          ::testing::Values(core::Algorithm::kCentralized,
                                            core::Algorithm::kFixedDistributed,
                                            core::Algorithm::kDynamicDistributed),
-                         [](const ::testing::TestParamInfo<core::Algorithm>& info) {
-                           return std::string(core::to_string(info.param));
+                         [](const ::testing::TestParamInfo<core::Algorithm>& tpi) {
+                           return std::string(core::to_string(tpi.param));
                          });
 
 // With the index on (the default), the parallel runner must keep its

@@ -74,6 +74,7 @@
 #include "metrics/timeline.hpp"
 #include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
+#include "service/signal.hpp"
 #include "tools/args.hpp"
 #include "trace/event_log.hpp"
 #include "trace/log.hpp"
@@ -293,14 +294,28 @@ int main(int argc, char** argv) {
       obs::Profiler::enable(true);
     }
 
+    // Ctrl-C/SIGTERM interrupt the event loop cooperatively: single runs
+    // stop at the next probe and still report partials; replicated batches
+    // cancel their remaining seeds.
+    service::install_signal_handlers();
+
     if (replications > 1) {
       // Seeds are independent runs, so multi-seed mode goes through the
       // parallel runner (same seed schedule and aggregation as the serial
       // core::run_replicated).
       runner::ExecutorOptions options;
       options.jobs = jobs;
-      const auto rep = runner::run_replicated(cfg, replications, options);
-      std::cout << rep.summary();
+      options.cancelled = [] { return service::shutdown_requested(); };
+      try {
+        const auto rep = runner::run_replicated(cfg, replications, options);
+        std::cout << rep.summary();
+      } catch (const std::runtime_error&) {
+        if (service::shutdown_requested()) {
+          std::cerr << "sensrep_cli: interrupted\n";
+          return 130;
+        }
+        throw;
+      }
       if (profile) {
         obs::Profiler::enable(false);
         std::cout << obs::Profiler::report();
@@ -341,8 +356,14 @@ int main(int argc, char** argv) {
       });
     }
 
+    simulation.simulator().set_interrupt([] { return service::shutdown_requested(); });
     simulation.run();
+    const bool interrupted = simulation.simulator().interrupted();
     const auto result = simulation.result();
+    if (interrupted && !quiet) {
+      std::cout << "interrupted at t=" << simulation.simulator().now()
+                << " s — metrics below cover the completed portion\n";
+    }
     if (!quiet) std::cout << result.summary();
     if (histogram) {
       std::vector<double> latencies;
@@ -439,7 +460,7 @@ int main(int argc, char** argv) {
       obs::Profiler::enable(false);
       std::cout << obs::Profiler::report();
     }
-    return 0;
+    return interrupted ? 130 : 0;
   } catch (const std::exception& e) {
     std::cerr << "sensrep_cli: " << e.what() << "\n";
     return 2;

@@ -41,6 +41,7 @@
 
 #include "obs/profiler.hpp"
 #include "runner/executor.hpp"
+#include "service/signal.hpp"
 #include "tools/args.hpp"
 #include "trace/log.hpp"
 
@@ -119,17 +120,25 @@ int main(int argc, char** argv) {
     options.jobs = jobs;
     options.retries = retries;
     options.progress = &progress;
+    // Ctrl-C stops in-flight simulations mid-run; finished rows are already
+    // streamed to the CSV in grid order, so the partial file stays usable.
+    service::install_signal_handlers();
+    options.cancelled = [] { return service::shutdown_requested(); };
     runner::Executor executor(options);
 
     const auto batch = executor.run(grid, &csv);
     progress.finish();
 
+    const bool interrupted = service::shutdown_requested();
     std::cout << "wrote " << batch.completed() << " rows to " << out_path << " ("
-              << executor.worker_count() << " worker thread(s))\n";
+              << executor.worker_count() << " worker thread(s)"
+              << (interrupted ? ", interrupted" : "") << ")\n";
     for (const auto& f : batch.failures) {
+      if (interrupted && f.error == "cancelled") continue;  // expected, not noise
       std::cerr << "sensrep_sweep: [" << f.label << "] failed after " << f.attempts
                 << " attempt(s): " << f.error << "\n";
     }
+    if (interrupted) return 130;
     if (!gnuplot_path.empty()) {
       write_gnuplot(gnuplot_path, out_path);
       std::cout << "wrote " << gnuplot_path << "\n";

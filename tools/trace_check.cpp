@@ -4,6 +4,9 @@
 //   trace_check --chrome=trace.json    Chrome trace_event JSON (obs::Tracer)
 //   trace_check --spans=spans.jsonl    span JSON lines (obs::Tracer)
 //   trace_check --events=events.jsonl  event-log JSON lines (trace::EventLog)
+//   trace_check --telemetry=t.jsonl    telemetry JSON lines (service daemon):
+//                                      required keys, strictly increasing t,
+//                                      no duplicate top-level keys
 //
 // Any number of the flags may be combined. Exit 0 when every file checks
 // out, 1 on a format violation, 2 on usage/IO errors. The checks are
@@ -132,6 +135,107 @@ bool check_chrome(const std::string& path) {
   return true;
 }
 
+/// Top-level keys of a one-line JSON object, in order. Assumes balanced
+/// input (checked beforehand); nested objects' keys are skipped.
+std::vector<std::string> top_level_keys(const std::string& line) {
+  std::vector<std::string> keys;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  bool expecting_key = false;
+  std::string current;
+  for (const char c : line) {
+    if (escaped) {
+      escaped = false;
+      if (in_string) current += c;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = in_string;
+      continue;
+    }
+    if (c == '"') {
+      if (!in_string) {
+        in_string = true;
+        current.clear();
+      } else {
+        in_string = false;
+        if (depth == 1 && expecting_key) {
+          keys.push_back(current);
+          expecting_key = false;
+        }
+      }
+      continue;
+    }
+    if (in_string) {
+      current += c;
+      continue;
+    }
+    if (c == '{' || c == '[') {
+      ++depth;
+      if (depth == 1) expecting_key = true;
+      continue;
+    }
+    if (c == '}' || c == ']') {
+      --depth;
+      continue;
+    }
+    if (c == ',' && depth == 1) expecting_key = true;
+  }
+  return keys;
+}
+
+/// Telemetry JSONL from the service daemon: every line a JSON object with
+/// the core sample keys, `t` strictly increasing line over line (the stream
+/// samples a monotone virtual clock), and no duplicate top-level keys (a
+/// duplicate means the emitter printed a field twice — last-wins parsers
+/// would mask it).
+bool check_telemetry(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "trace_check: cannot open " << path << "\n";
+    std::exit(2);
+  }
+  const std::vector<std::string> required = {"t", "failures", "repaired", "pending",
+                                             "live_robots"};
+  std::string line;
+  std::size_t n = 0;
+  double last_t = 0.0;
+  bool have_last = false;
+  while (std::getline(in, line)) {
+    ++n;
+    if (line.empty()) continue;
+    if (line.front() != '{' || line.back() != '}') {
+      return fail(path, n, "line is not a JSON object");
+    }
+    if (!balanced_json(line)) return fail(path, n, "unbalanced JSON");
+    for (const auto& key : required) {
+      if (line.find("\"" + key + "\":") == std::string::npos) {
+        return fail(path, n, "missing key \"" + key + "\"");
+      }
+    }
+    const auto keys = top_level_keys(line);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      for (std::size_t j = i + 1; j < keys.size(); ++j) {
+        if (keys[i] == keys[j]) {
+          return fail(path, n, "duplicate top-level key \"" + keys[i] + "\"");
+        }
+      }
+    }
+    const auto t_at = line.find("\"t\":");
+    const double t = std::strtod(line.c_str() + t_at + 4, nullptr);
+    if (have_last && !(t > last_t)) {
+      return fail(path, n, "t did not increase (" + std::to_string(t) +
+                               " after " + std::to_string(last_t) + ")");
+    }
+    last_t = t;
+    have_last = true;
+  }
+  if (n == 0) return fail(path, 0, "empty file");
+  std::cout << path << ": " << n << " telemetry lines OK\n";
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,10 +244,11 @@ int main(int argc, char** argv) {
     const auto chrome = args.get_string("chrome", "");
     const auto spans = args.get_string("spans", "");
     const auto events = args.get_string("events", "");
+    const auto telemetry = args.get_string("telemetry", "");
     args.reject_unknown();
-    if (chrome.empty() && spans.empty() && events.empty()) {
+    if (chrome.empty() && spans.empty() && events.empty() && telemetry.empty()) {
       std::cerr << "usage: trace_check [--chrome=trace.json] [--spans=spans.jsonl] "
-                   "[--events=events.jsonl]\n";
+                   "[--events=events.jsonl] [--telemetry=telemetry.jsonl]\n";
       return 2;
     }
     bool ok = true;
@@ -154,6 +259,7 @@ int main(int argc, char** argv) {
     if (!events.empty()) {
       ok = check_jsonl(events, {"t", "kind", "node"}, "event") && ok;
     }
+    if (!telemetry.empty()) ok = check_telemetry(telemetry) && ok;
     return ok ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "trace_check: " << e.what() << "\n";
