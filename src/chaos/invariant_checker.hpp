@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "obs/tracer.hpp"
+#include "sim/time.hpp"
+
+namespace sensrep::chaos {
+
+/// One invariant breach, with the event context needed to diagnose it
+/// without a rerun (violations ship as CI artifacts).
+struct InvariantViolation {
+  sim::SimTime time = 0.0;
+  std::string invariant;  // catalog key, e.g. "failure-conservation"
+  std::string detail;     // slot / failure id / robot context
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct InvariantCheckerOptions {
+  /// Throw std::runtime_error at the first violation (tests/CI). When false,
+  /// violations accumulate and are queryable / writable as a report.
+  bool fail_fast = true;
+
+  /// Validation cadence in sim seconds. 0 derives it: the fault model's
+  /// heartbeat period when faults are on (the supervise cadence), else
+  /// sim_duration / 20.
+  double period_s = 0.0;
+};
+
+/// Runtime oracle validating the repair protocols' safety bookkeeping while
+/// a simulation runs under (possibly adversarial) link conditions.
+///
+/// Construct it AFTER the Simulation and BEFORE run(); it self-arms a
+/// periodic validation event at the supervise cadence, and check_final()
+/// runs the stricter end-of-run pass. The checker (and any tracer handed to
+/// it) must outlive the run. Strictly opt-in: a simulation without a checker
+/// behaves identically.
+///
+/// Invariant catalog (also documented in docs/PROTOCOL.md):
+///  - failure-conservation: every FailureLog record is exactly one of
+///    repaired (robot id set, repaired_at >= failed_at, timestamps causally
+///    ordered) or pending (its slot is currently dead and the field's
+///    open-failure entry points back at this record). Nothing is lost, even
+///    when redispatch accounting moved the task between robots.
+///  - no-double-repair: per slot, failure records never overlap in time —
+///    a record is repaired before the slot's next failure opens, and at most
+///    the newest record per slot is unrepaired.
+///  - robot-bookkeeping: ground-truth robot state is consistent — a failed
+///    robot holds no work (not busy, queue empty) and is radio-dark; a live
+///    robot is radio-reachable; currently-dead robots equal failure minus
+///    repair injections. (The supervision *belief* may legitimately diverge
+///    under partitions and is deliberately not asserted.)
+///  - span-balance (tracer attached from t=0 only): no stray closes, and at
+///    end-of-run every repaired failure on a once-failed slot carries a
+///    complete detect->report->dispatch->queue->travel span chain. (Slots
+///    that failed repeatedly are exempt: a stale duplicate task for an
+///    earlier failure can repair a later one, splitting the chain across
+///    the two traces.)
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(core::Simulation& sim, InvariantCheckerOptions opts = {},
+                            const obs::Tracer* tracer = nullptr);
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// Runs the periodic invariant set at the current sim time.
+  void check_now();
+
+  /// End-of-run pass: the periodic set plus span-chain completeness.
+  void check_final();
+
+  [[nodiscard]] bool ok() const noexcept { return violations_.empty(); }
+  [[nodiscard]] const std::vector<InvariantViolation>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t checks_run() const noexcept { return checks_; }
+
+  /// Human-readable summary (one line per violation).
+  [[nodiscard]] std::string report() const;
+
+  /// Writes report() to `path` (CI artifact on failure). False on I/O error.
+  bool write_report(const std::string& path) const;
+
+ private:
+  void verify_failure_conservation();
+  void verify_no_double_repair();
+  void verify_robot_bookkeeping();
+  void verify_span_balance(bool final_check);
+  void record(const char* invariant, std::string detail);
+
+  core::Simulation* sim_;
+  InvariantCheckerOptions opts_;
+  const obs::Tracer* tracer_;
+  std::vector<InvariantViolation> violations_;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace sensrep::chaos

@@ -1,0 +1,108 @@
+#include "chaos/link_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sensrep::chaos {
+
+namespace {
+
+/// Probability in [0, 1] and not NaN. Negated form so NaN fails the test.
+void require_probability(double v, const char* what) {
+  if (!(v >= 0.0 && v <= 1.0)) {
+    throw std::invalid_argument(std::string("ChaosConfig: ") + what +
+                                " must be a probability in [0, 1]");
+  }
+}
+
+/// Finite and >= 0.
+void require_nonnegative(double v, const char* what) {
+  if (!(v >= 0.0) || !std::isfinite(v)) {
+    throw std::invalid_argument(std::string("ChaosConfig: ") + what +
+                                " must be finite and non-negative");
+  }
+}
+
+}  // namespace
+
+bool PartitionWindow::covers(sim::SimTime now, net::NodeId id,
+                             geometry::Vec2 pos) const noexcept {
+  if (now < start_s || now >= end_s) return false;
+  if (!has_zone && nodes.empty()) return true;  // global blackout
+  if (has_zone && pos.x >= zone_min.x && pos.x <= zone_max.x &&
+      pos.y >= zone_min.y && pos.y <= zone_max.y) {
+    return true;
+  }
+  for (const net::NodeId n : nodes) {
+    if (n == id) return true;
+  }
+  return false;
+}
+
+bool ChaosConfig::any_enabled() const noexcept {
+  return burst.enabled || duplication.enabled || jitter.enabled || !partitions.empty();
+}
+
+void ChaosConfig::validate() const {
+  require_probability(burst.p_enter_bad, "burst p_enter_bad");
+  require_probability(burst.p_exit_bad, "burst p_exit_bad");
+  require_probability(burst.loss_bad, "burst loss_bad");
+  require_probability(burst.loss_good, "burst loss_good");
+  require_probability(duplication.probability, "duplication probability");
+  require_nonnegative(duplication.extra_delay_s, "duplication extra_delay_s");
+  require_probability(jitter.probability, "jitter probability");
+  require_nonnegative(jitter.max_extra_s, "jitter max_extra_s");
+  for (const PartitionWindow& w : partitions) {
+    require_nonnegative(w.start_s, "partition start");
+    if (!(w.end_s > w.start_s) || !std::isfinite(w.end_s)) {
+      throw std::invalid_argument("ChaosConfig: partition window must have end > start");
+    }
+    if (w.has_zone && (!(w.zone_max.x >= w.zone_min.x) || !(w.zone_max.y >= w.zone_min.y))) {
+      throw std::invalid_argument("ChaosConfig: partition zone must have max >= min");
+    }
+  }
+}
+
+LinkModel::LinkModel(const ChaosConfig& config, const sim::Rng& parent)
+    : config_(config),
+      burst_rng_(parent.fork("chaos-burst")),
+      dup_rng_(parent.fork("chaos-dup")),
+      jitter_rng_(parent.fork("chaos-jitter")) {
+  config_.validate();
+}
+
+bool LinkModel::burst_drop() {
+  if (!config_.burst.enabled) return false;
+  if (bad_state_) {
+    if (burst_rng_.chance(config_.burst.p_exit_bad)) bad_state_ = false;
+  } else {
+    if (burst_rng_.chance(config_.burst.p_enter_bad)) bad_state_ = true;
+  }
+  const double p = bad_state_ ? config_.burst.loss_bad : config_.burst.loss_good;
+  return p > 0.0 && burst_rng_.chance(p);
+}
+
+bool LinkModel::duplicate() {
+  if (!config_.duplication.enabled) return false;
+  return dup_rng_.chance(config_.duplication.probability);
+}
+
+sim::Duration LinkModel::duplicate_delay() {
+  return dup_rng_.uniform(0.0, config_.duplication.extra_delay_s);
+}
+
+sim::Duration LinkModel::jitter() {
+  if (!config_.jitter.enabled) return 0.0;
+  if (!jitter_rng_.chance(config_.jitter.probability)) return 0.0;
+  return jitter_rng_.uniform(0.0, config_.jitter.max_extra_s);
+}
+
+bool LinkModel::jammed(sim::SimTime now, net::NodeId id,
+                       geometry::Vec2 pos) const noexcept {
+  for (const PartitionWindow& w : config_.partitions) {
+    if (w.covers(now, id, pos)) return true;
+  }
+  return false;
+}
+
+}  // namespace sensrep::chaos

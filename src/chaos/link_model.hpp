@@ -1,0 +1,119 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "net/node_id.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace sensrep::chaos {
+
+/// Gilbert–Elliott two-state bursty loss. One global good/bad Markov chain is
+/// advanced once per reception decision; the reception is then dropped with
+/// the current state's loss probability. Applied *in addition to* (independent
+/// of) `RadioConfig::loss_probability`, so burst-vs-uniform ablations can hold
+/// the Bernoulli knob at zero and match average rates analytically: the
+/// stationary bad-state share is p_enter_bad / (p_enter_bad + p_exit_bad).
+struct BurstLossConfig {
+  bool enabled = false;
+  double p_enter_bad = 0.0;  // good -> bad transition probability per decision
+  double p_exit_bad = 0.0;   // bad -> good transition probability per decision
+  double loss_bad = 0.0;     // drop probability while in the bad state
+  double loss_good = 0.0;    // drop probability while in the good state
+};
+
+/// Per-reception duplication: each *delivered* reception spawns a second copy
+/// of the same frame with probability `probability`, arriving after an extra
+/// uniform(0, extra_delay_s) delay. Duplicates are reception artifacts, not
+/// retransmissions: they are not counted as transmissions.
+struct DuplicationConfig {
+  bool enabled = false;
+  double probability = 0.0;
+  double extra_delay_s = 2e-3;  // max extra delay of the duplicate copy
+};
+
+/// Reorder-inducing jitter: with probability `probability` a delivery gains an
+/// extra uniform(0, max_extra_s) delay, letting later frames overtake it.
+struct JitterConfig {
+  bool enabled = false;
+  double probability = 0.0;
+  double max_extra_s = 0.0;
+};
+
+/// A scheduled partition: during [start_s, end_s) the selected nodes are
+/// jammed — they can neither send nor receive. Transmissions they attempt are
+/// still counted (jamming behaves like loss = 1, not like a powered-off
+/// radio). Selection is a rect zone, an explicit node set, or — when neither
+/// is given — every node (a global blackout window).
+struct PartitionWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;  // exclusive
+
+  bool has_zone = false;
+  geometry::Vec2 zone_min{0.0, 0.0};
+  geometry::Vec2 zone_max{0.0, 0.0};
+  std::vector<net::NodeId> nodes;  // explicit victims (may combine with zone)
+
+  /// True when `id` at `pos` falls under this window's selector at time `now`.
+  [[nodiscard]] bool covers(sim::SimTime now, net::NodeId id,
+                            geometry::Vec2 pos) const noexcept;
+};
+
+/// All adversarial link behaviors, strictly opt-in: a default ChaosConfig is
+/// inert and the medium never instantiates a LinkModel for it, so default and
+/// `--loss`-only runs stay byte-identical.
+struct ChaosConfig {
+  BurstLossConfig burst;
+  DuplicationConfig duplication;
+  JitterConfig jitter;
+  std::vector<PartitionWindow> partitions;
+
+  [[nodiscard]] bool any_enabled() const noexcept;
+
+  /// Throws std::invalid_argument on NaN / out-of-range probabilities,
+  /// negative delays, or empty partition windows (end <= start).
+  void validate() const;
+};
+
+/// Deterministic chaos decision engine owned by the medium.
+///
+/// Each sub-model draws from its own stream forked from the medium's RNG
+/// (fork is a pure function of (seed, name) and does not advance the parent),
+/// and only draws when its sub-model is enabled — adding chaos never perturbs
+/// the existing backoff/loss draw sequences, and enabling one sub-model never
+/// perturbs another.
+class LinkModel {
+ public:
+  LinkModel(const ChaosConfig& config, const sim::Rng& parent);
+
+  /// Advances the Gilbert–Elliott chain one step and decides whether this
+  /// reception is dropped by burst loss. False (no draw) when disabled.
+  [[nodiscard]] bool burst_drop();
+
+  /// Whether a delivered reception should spawn a duplicate copy.
+  [[nodiscard]] bool duplicate();
+
+  /// Extra delay of the duplicate copy, in (0, extra_delay_s].
+  [[nodiscard]] sim::Duration duplicate_delay();
+
+  /// Extra reorder jitter for one delivery; 0 when disabled or not drawn.
+  [[nodiscard]] sim::Duration jitter();
+
+  /// True when `id` at `pos` is inside an active partition window at `now`.
+  [[nodiscard]] bool jammed(sim::SimTime now, net::NodeId id,
+                            geometry::Vec2 pos) const noexcept;
+
+  /// True while the Gilbert–Elliott chain sits in the bad state.
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_state_; }
+
+ private:
+  ChaosConfig config_;
+  sim::Rng burst_rng_;
+  sim::Rng dup_rng_;
+  sim::Rng jitter_rng_;
+  bool bad_state_ = false;  // GE chains start in the good state
+};
+
+}  // namespace sensrep::chaos

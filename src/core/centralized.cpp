@@ -156,10 +156,12 @@ void CentralizedAlgorithm::handle_manager_packet(const Packet& pkt) {
       break;
     }
     case PacketType::kFailureReport: {
-      record_report_arrival(pkt);
+      const bool fresh = record_report_arrival(pkt);
       manager_->refresh_neighbor_table();
+      // Every copy is acked (the first ack may have been lost), but only a
+      // fresh report dispatches — a duplicated frame must not double-dispatch.
       acknowledge_report(manager_->router(), pkt);
-      dispatch(std::get<net::FailureReportPayload>(pkt.payload));
+      if (fresh) dispatch(std::get<net::FailureReportPayload>(pkt.payload));
       break;
     }
     case PacketType::kTaskComplete:
@@ -237,6 +239,7 @@ void CentralizedAlgorithm::dispatch(const net::FailureReportPayload& failure) {
   request.type = PacketType::kRepairRequest;
   request.dst = best;
   request.dst_location = robot_locations_[best];
+  request.seq = ++dispatch_seq_;  // duplication dedup at the robot
   request.payload =
       net::RepairRequestPayload{failure.failed_node, failure.failed_location,
                                 failure.failure_id};
@@ -263,12 +266,13 @@ void CentralizedAlgorithm::on_robot_packet(robot::RobotNode& robot, const Packet
       case PacketType::kTaskComplete:
         handle_manager_packet(pkt);  // bookkeeping is router-agnostic
         return;
-      case PacketType::kFailureReport:
-        record_report_arrival(pkt);
+      case PacketType::kFailureReport: {
+        const bool fresh = record_report_arrival(pkt);
         robot.refresh_neighbor_table();
         acknowledge_report(robot.router(), pkt);
-        dispatch(std::get<net::FailureReportPayload>(pkt.payload));
+        if (fresh) dispatch(std::get<net::FailureReportPayload>(pkt.payload));
         return;
+      }
       default:
         break;
     }
@@ -277,6 +281,14 @@ void CentralizedAlgorithm::on_robot_packet(robot::RobotNode& robot, const Packet
     // A failover winner announced itself: acknowledge so the election is a
     // real two-way exchange (and proves this robot alive to the new manager).
     const auto& ballot = std::get<net::ElectionPayload>(pkt.payload);
+    // A duplicated ballot of a round this robot already acked is not acked
+    // again — one election round yields at most one ack per robot.
+    const auto round = std::make_pair(ballot.winner, ballot.election_seq);
+    auto [acked_it, first_copy] = election_acked_.try_emplace(robot.id(), round);
+    if (!first_copy) {
+      if (acked_it->second == round) return;
+      acked_it->second = round;
+    }
     Packet ack;
     ack.type = PacketType::kElectionAck;
     ack.dst = ballot.winner;
@@ -288,7 +300,11 @@ void CentralizedAlgorithm::on_robot_packet(robot::RobotNode& robot, const Packet
     return;
   }
   if (pkt.type == PacketType::kElectionAck) {
-    // Delivered to the acting manager: the acker is alive — refresh its lease.
+    // Delivered to the acting manager: the acker is alive — refresh its
+    // lease, but count each (acker, round) only once; a duplicated ack would
+    // otherwise feed a near-zero interval into the lease cadence EWMA.
+    const auto& ballot = std::get<net::ElectionPayload>(pkt.payload);
+    if (!election_acks_seen_.insert({pkt.src, ballot.election_seq}).second) return;
     if (fault_tolerance_active()) refresh_lease(robot_index(pkt.src));
     return;
   }
@@ -298,6 +314,10 @@ void CentralizedAlgorithm::on_robot_packet(robot::RobotNode& robot, const Packet
     return;
   }
   if (pkt.type != PacketType::kRepairRequest) return;
+  // Duplication dedup: an exact copy of a request this robot already accepted
+  // must not re-enqueue (the slot may have been repaired and failed again by
+  // the time the stale copy lands). Redispatches carry a fresh seq and pass.
+  if (pkt.seq != 0 && !seen_requests_.insert({pkt.src, pkt.seq}).second) return;
   const auto& body = std::get<net::RepairRequestPayload>(pkt.payload);
   if (body.failure_id != 0) {
     auto& rec = ctx().log->at(body.failure_id - 1);

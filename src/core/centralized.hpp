@@ -1,6 +1,9 @@
 #pragma once
 
+#include <map>
+#include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "core/coordination.hpp"
 #include "core/manager_node.hpp"
@@ -97,6 +100,19 @@ class CentralizedAlgorithm final : public CoordinationAlgorithm {
   std::uint32_t manager_hb_seq_ = 0;  // manager-heartbeat flood dedup
   std::uint32_t election_seq_ = 0;    // per-election round tag (ack correlation)
   std::uint32_t transfer_seq_ = 0;    // handback-offer retry dedup
+
+  // Link-duplication hardening (chaos::DuplicationConfig): every radio-borne
+  // dispatch/election packet carries a sequence, and exact copies are dropped
+  // at the receiver so a duplicated frame never acts twice.
+  std::uint32_t dispatch_seq_ = 0;  // stamps outgoing kRepairRequest packets
+  std::set<std::pair<net::NodeId, std::uint32_t>> seen_requests_;
+  // Per robot: the (winner, election_seq) ballot it last acked — a duplicated
+  // ballot is not re-acked, so one election yields at most one ack per robot.
+  std::map<net::NodeId, std::pair<net::NodeId, std::uint32_t>> election_acked_;
+  // At the winner: ack copies already counted, keyed (acker, election_seq) —
+  // a duplicated ack must not re-refresh the acker's lease (the tiny
+  // inter-arrival would pollute the auto-tuned lease cadence EWMA).
+  std::set<std::pair<net::NodeId, std::uint32_t>> election_acks_seen_;
 };
 
 }  // namespace sensrep::core

@@ -17,9 +17,14 @@ namespace sensrep::core {
 using net::NodeId;
 using net::Packet;
 
-void CoordinationAlgorithm::record_report_arrival(const Packet& pkt) {
+bool CoordinationAlgorithm::record_report_arrival(const Packet& pkt) {
+  // Duplication dedup: seq 0 is an untagged (hand-crafted test) report and is
+  // always fresh; every real report is stamped with a per-sensor sequence.
+  if (pkt.seq != 0 && !seen_reports_.insert({pkt.src, pkt.seq}).second) {
+    return false;
+  }
   const auto& body = std::get<net::FailureReportPayload>(pkt.payload);
-  if (body.failure_id == 0) return;
+  if (body.failure_id == 0) return true;
   auto& rec = ctx_.log->at(body.failure_id - 1);
   if (!sim::is_valid_time(rec.reported_at)) {
     rec.reported_at = ctx_.simulator->now();
@@ -36,6 +41,7 @@ void CoordinationAlgorithm::record_report_arrival(const Packet& pkt) {
                     body.failed_node);
     }
   }
+  return true;
 }
 
 void CoordinationAlgorithm::acknowledge_report(routing::GeoRouter& router,

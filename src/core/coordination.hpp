@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
@@ -114,6 +116,12 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   /// [2 * heartbeat_period, lease_window()].
   [[nodiscard]] double effective_lease_window(std::size_t index) const;
 
+  /// Public read-only view of the supervision belief for robot `index`
+  /// (invariant oracle, tests). False whenever fault tolerance is inactive.
+  [[nodiscard]] bool robot_presumed_dead(std::size_t index) const noexcept {
+    return presumed_dead(index);
+  }
+
  protected:
   [[nodiscard]] const SystemContext& ctx() const noexcept { return ctx_; }
   [[nodiscard]] const SimulationConfig& config() const noexcept { return *ctx_.config; }
@@ -128,8 +136,12 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   }
 
   /// Stamps reported_at / report_hops on the failure record named by a
-  /// delivered FailureReport.
-  void record_report_arrival(const net::Packet& pkt);
+  /// delivered FailureReport. Returns false when this exact report copy
+  /// (same originator and originator-scoped seq) was already processed —
+  /// link-level duplication delivered it twice. Callers must not dispatch a
+  /// stale copy; acking it again is fine (the first ack may have been lost).
+  /// Legitimate retries and re-reports carry fresh seqs and return true.
+  bool record_report_arrival(const net::Packet& pkt);
 
   /// reliable_reports: geo-routes a kReportAck back to the reporter through
   /// `router` (the receiving manager's or robot's). Acks every copy so a
@@ -230,6 +242,9 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   /// expire nobody and skips its scan (spatial_index batched sweep).
   sim::SimTime lease_floor_ = 0.0;
   std::optional<spatial::UniformGrid2D<std::uint32_t>> robot_grid_;  // fleet index -> pos
+  /// Exact report copies already processed, keyed (originator, seq). Reports
+  /// are rare (one per sensor failure plus retries), so the set stays small.
+  std::set<std::pair<net::NodeId, std::uint32_t>> seen_reports_;
 };
 
 /// Factory for the algorithm selected in the config.

@@ -90,8 +90,11 @@ void DynamicDistributedAlgorithm::on_robot_location_update(robot::RobotNode& rob
 void DynamicDistributedAlgorithm::on_robot_packet(robot::RobotNode& robot,
                                                   const Packet& pkt) {
   if (pkt.type != PacketType::kFailureReport) return;
-  record_report_arrival(pkt);
+  // Every copy is acked (the first ack may have been lost); only a fresh
+  // report dispatches — a link-duplicated frame must not double-dispatch.
+  const bool fresh = record_report_arrival(pkt);
   acknowledge_report(robot.router(), pkt);
+  if (!fresh) return;
   const auto& body = std::get<net::FailureReportPayload>(pkt.payload);
   dispatch_to(robot, make_task(body.failed_node, body.failed_location, body.failure_id));
 }

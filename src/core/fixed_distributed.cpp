@@ -86,8 +86,11 @@ void FixedDistributedAlgorithm::on_robot_packet(robot::RobotNode& robot,
     return;  // acks are pure confirmation (ownership flipped on delivery)
   }
   if (pkt.type != PacketType::kFailureReport) return;
-  record_report_arrival(pkt);
+  // Every copy is acked (the first ack may have been lost); only a fresh
+  // report dispatches — a link-duplicated frame must not double-dispatch.
+  const bool fresh = record_report_arrival(pkt);
   acknowledge_report(robot.router(), pkt);
+  if (!fresh) return;
   const auto& body = std::get<net::FailureReportPayload>(pkt.payload);
   dispatch_to(robot, make_task(body.failed_node, body.failed_location, body.failure_id));
 }

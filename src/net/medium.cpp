@@ -1,12 +1,33 @@
 #include "net/medium.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
 namespace sensrep::net {
 
 using geometry::Vec2;
+
+void RadioConfig::validate() const {
+  // Negated comparisons so NaN fails every test.
+  if (!(bitrate_bps > 0.0) || !std::isfinite(bitrate_bps)) {
+    throw std::invalid_argument("RadioConfig: bitrate must be positive and finite");
+  }
+  if (!(max_backoff_s >= 0.0) || !std::isfinite(max_backoff_s)) {
+    throw std::invalid_argument("RadioConfig: max_backoff must be finite and non-negative");
+  }
+  if (!(propagation_s >= 0.0) || !std::isfinite(propagation_s)) {
+    throw std::invalid_argument("RadioConfig: propagation delay must be finite and non-negative");
+  }
+  if (!(loss_probability >= 0.0 && loss_probability <= 1.0)) {
+    throw std::invalid_argument("RadioConfig: loss probability must be in [0, 1]");
+  }
+  if (unicast_retries < 0) {
+    throw std::invalid_argument("RadioConfig: unicast retries must be non-negative");
+  }
+  chaos.validate();
+}
 
 Medium::Medium(sim::Simulator& simulator, sim::Rng rng, RadioConfig config,
                metrics::TransmissionCounters& counters, double bucket_size_m)
@@ -15,7 +36,12 @@ Medium::Medium(sim::Simulator& simulator, sim::Rng rng, RadioConfig config,
       config_(config),
       counters_(&counters),
       index_(bucket_size_m) {
-  if (config_.bitrate_bps <= 0.0) throw std::invalid_argument("Medium: bitrate must be positive");
+  config_.validate();
+  if (config_.chaos.any_enabled()) {
+    // fork() is a pure function of (seed, name): instantiating the chaos
+    // model never perturbs the medium's existing backoff/loss draw streams.
+    chaos_ = std::make_unique<chaos::LinkModel>(config_.chaos, rng_);
+  }
 }
 
 void Medium::attach(NodeId id, Vec2 pos, double tx_range, ReceiveFn rx) {
@@ -129,17 +155,53 @@ void Medium::deliver_later(NodeId to, Packet pkt, NodeId from, sim::Duration del
   });
 }
 
+bool Medium::jammed_now(NodeId id, const Transceiver& t) const noexcept {
+  return chaos_ && chaos_->jammed(sim_->now(), id, t.pos);
+}
+
+void Medium::deliver_chaotic(NodeId to, const Packet& pkt, NodeId from,
+                             sim::Duration delay, bool collidable) {
+  if (!chaos_) {
+    deliver_later(to, pkt, from, delay, collidable);
+    return;
+  }
+  const sim::Duration jittered = delay + chaos_->jitter();
+  deliver_later(to, pkt, from, jittered, collidable);
+  if (chaos_->duplicate()) {
+    // A duplicate is a reception artifact (stale frame, reflection), not a
+    // retransmission: it costs no counted transmission and lands late enough
+    // to reorder against subsequent traffic.
+    ++chaos_duplicates_;
+    deliver_later(to, pkt, from, jittered + chaos_->duplicate_delay(), collidable);
+  }
+}
+
 void Medium::broadcast(NodeId sender, Packet pkt) {
   const Transceiver& s = get(sender);
   assert(s.alive && "dead node cannot transmit");
   counters_->add(pkt.category());
+  if (jammed_now(sender, s)) {
+    // A jammed sender still burns the transmission; nobody hears it.
+    ++chaos_jams_;
+    return;
+  }
   const sim::Duration delay = frame_delay(pkt);
   for (const NodeId id : index_.query_ball(s.pos, s.tx_range)) {
     if (id == sender) continue;
     const Transceiver& r = nodes_.at(id);
     if (!r.alive) continue;
     if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) continue;
-    deliver_later(id, pkt, sender, delay, /*collidable=*/true);
+    if (chaos_) {
+      if (jammed_now(id, r)) {
+        ++chaos_jams_;
+        continue;
+      }
+      if (chaos_->burst_drop()) {
+        ++chaos_drops_;
+        continue;
+      }
+    }
+    deliver_chaotic(id, pkt, sender, delay, /*collidable=*/true);
   }
 }
 
@@ -151,16 +213,29 @@ bool Medium::unicast(NodeId sender, NodeId target, Packet pkt) {
   const bool reachable =
       it != nodes_.end() && it->second.alive && in_range(sender, target);
 
+  // An active partition behaves like loss = 1, not like a missing node: every
+  // ARQ attempt is still burned (and counted) before the sender gives up.
+  bool jammed = false;
+  if (chaos_ && (jammed_now(sender, s) ||
+                 (it != nodes_.end() && jammed_now(target, it->second)))) {
+    jammed = true;
+    ++chaos_jams_;
+  }
+
   // 802.11-style ARQ: each attempt is one counted transmission; the sender
   // learns of success/failure via the (implicit) link-layer ACK. A missing
   // ACK (unreachable target or loss) triggers a retry up to the budget.
   const int attempts = 1 + config_.unicast_retries;
   for (int a = 0; a < attempts; ++a) {
     counters_->add(pkt.category());
-    const bool lost =
+    bool lost =
         config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability);
-    if (reachable && !lost) {
-      deliver_later(target, pkt, sender, frame_delay(pkt));
+    if (chaos_ && chaos_->burst_drop()) {  // advances the GE chain per attempt
+      ++chaos_drops_;
+      lost = true;
+    }
+    if (reachable && !jammed && !lost) {
+      deliver_chaotic(target, pkt, sender, frame_delay(pkt));
       return true;
     }
     if (!reachable && config_.loss_probability == 0.0) return false;  // deterministic: retrying is futile

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "chaos/link_model.hpp"
 #include "geometry/spatial_hash.hpp"
 #include "geometry/vec2.hpp"
 #include "metrics/counters.hpp"
@@ -34,6 +36,14 @@ struct RadioConfig {
   /// paper reports contention is negligible at its traffic load, and this
   /// flag exists to check that claim.
   bool model_collisions = false;
+
+  /// Adversarial link behaviors (bursty loss, duplication, reorder jitter,
+  /// partition windows). Inert by default; see chaos::ChaosConfig.
+  chaos::ChaosConfig chaos;
+
+  /// Throws std::invalid_argument on NaN / out-of-range probabilities,
+  /// non-positive bitrate, negative delays/retries, or malformed chaos knobs.
+  void validate() const;
 };
 
 /// The shared wireless medium.
@@ -110,6 +120,18 @@ class Medium {
   /// Broadcast frames destroyed by collisions (model_collisions only).
   [[nodiscard]] std::uint64_t collisions() const noexcept { return collisions_; }
 
+  /// Receptions dropped by the chaos burst-loss model.
+  [[nodiscard]] std::uint64_t chaos_drops() const noexcept { return chaos_drops_; }
+
+  /// Duplicate copies injected by the chaos duplication model.
+  [[nodiscard]] std::uint64_t chaos_duplicates() const noexcept { return chaos_duplicates_; }
+
+  /// Send/receive opportunities suppressed by an active partition window.
+  [[nodiscard]] std::uint64_t chaos_jams() const noexcept { return chaos_jams_; }
+
+  /// True when any adversarial link behavior is active.
+  [[nodiscard]] bool chaos_active() const noexcept { return chaos_ != nullptr; }
+
  private:
   struct Transceiver {
     geometry::Vec2 pos;
@@ -124,6 +146,14 @@ class Medium {
   [[nodiscard]] sim::Duration serialization_time(const Packet& pkt) const noexcept;
   void deliver_later(NodeId to, Packet pkt, NodeId from, sim::Duration delay,
                      bool collidable = false);
+
+  /// Delivery front-end applying the chaos duplication/jitter models; falls
+  /// through to deliver_later() unchanged when chaos is off.
+  void deliver_chaotic(NodeId to, const Packet& pkt, NodeId from,
+                       sim::Duration delay, bool collidable = false);
+
+  /// True when `id` is jammed by an active partition window right now.
+  [[nodiscard]] bool jammed_now(NodeId id, const Transceiver& t) const noexcept;
 
   /// A frame's on-air interval at one receiver, with a corruption flag
   /// shared between the scheduler and the delivery event.
@@ -142,6 +172,10 @@ class Medium {
   std::unordered_map<NodeId, std::vector<PendingArrival>> pending_;
   std::uint64_t deliveries_ = 0;
   std::uint64_t collisions_ = 0;
+  std::unique_ptr<chaos::LinkModel> chaos_;  // null unless chaos configured
+  std::uint64_t chaos_drops_ = 0;
+  std::uint64_t chaos_duplicates_ = 0;
+  std::uint64_t chaos_jams_ = 0;
 };
 
 }  // namespace sensrep::net

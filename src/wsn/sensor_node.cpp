@@ -302,6 +302,10 @@ void SensorNode::report_guardee_failure(NodeId failed) {
   pkt.type = PacketType::kFailureReport;
   pkt.dst = target->manager;
   pkt.dst_location = target->location;
+  // Every (re)transmission carries a fresh originator-scoped seq: receivers
+  // drop exact copies (link duplication) but process retries and re-reports.
+  // Monotonic across incarnations so a revived slot never reuses a seq.
+  pkt.seq = ++report_seq_;
   net::FailureReportPayload body;
   body.failed_node = failed;
   body.failed_location = field_->node(failed).position();
@@ -316,19 +320,29 @@ void SensorNode::report_guardee_failure(NodeId failed) {
 
 void SensorNode::arm_report_retry(NodeId failed) {
   auto& pending = pending_reports_[failed];
-  pending.retry_timer =
-      field_->simulator().in(field_->config().report_retry_timeout, [this, failed] {
-        auto it = pending_reports_.find(failed);
-        if (it == pending_reports_.end() || !alive_) return;
-        if (it->second.attempts > field_->config().report_retries) {
-          pending_reports_.erase(it);  // give up; tracked by delivery ratio
-          return;
-        }
-        const int attempts = it->second.attempts + 1;
-        pending_reports_.erase(it);
-        report_guardee_failure(failed);  // re-resolves the manager too
-        pending_reports_[failed].attempts = attempts;
-      });
+  // A periodic re-report may race an armed retry for the same slot; disarm
+  // the stale timer so the two paths never double-fire.
+  if (pending.retry_timer.valid()) field_->simulator().cancel(pending.retry_timer);
+  // Exponential backoff: the k-th wait is timeout * 2^(k-1), so a congested
+  // or bursty network sees geometrically decaying re-report pressure instead
+  // of a fixed-rate hammer that keeps colliding with the same burst.
+  const int backoff_exp = std::min(pending.attempts - 1, 20);  // cap the doubling
+  const double delay = field_->config().report_retry_timeout *
+                       static_cast<double>(1u << backoff_exp);
+  pending.retry_timer = field_->simulator().in(delay, [this, failed] {
+    auto it = pending_reports_.find(failed);
+    if (it == pending_reports_.end() || !alive_) return;
+    if (it->second.attempts > field_->config().report_retries) {
+      pending_reports_.erase(it);  // give up; tracked by delivery ratio
+      return;
+    }
+    const int attempts = it->second.attempts + 1;
+    pending_reports_.erase(it);
+    // Pre-seed the attempt count so the re-arm inside report_guardee_failure
+    // sees it and scales the next backoff window.
+    pending_reports_[failed].attempts = attempts;
+    report_guardee_failure(failed);  // re-resolves the manager too
+  });
 }
 
 void SensorNode::on_report_ack(NodeId failed) {

@@ -167,6 +167,9 @@ class SensorNode {
   // failure_rereport_period mode: failures this node reported that are not
   // yet repaired, keyed by slot -> time of the last report sent.
   std::unordered_map<net::NodeId, sim::SimTime> reported_pending_;
+  // Originator-scoped sequence stamped on outgoing failure reports (receiver
+  // duplication dedup). Monotonic across incarnations: never reset.
+  std::uint32_t report_seq_ = 0;
 
   sim::EventId tick_timer_{};
 };

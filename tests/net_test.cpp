@@ -293,6 +293,44 @@ TEST(MediumLossTest, BroadcastLosesSomeReceivers) {
   EXPECT_NEAR(delivered, expected, 60);
 }
 
+// Pins the ARQ accounting contract: exactly one counted transmission per
+// attempt, and the futile-retry early-out when the channel is lossless.
+// Regression guard — downstream metrics (Fig. 3/4 overhead) depend on it.
+TEST(MediumLossTest, UnicastCountsOneTransmissionPerAttempt) {
+  sim::Simulator sim;
+  metrics::TransmissionCounters counters;
+  RadioConfig cfg;
+  cfg.loss_probability = 1.0;  // every attempt lost
+  cfg.unicast_retries = 4;
+  Medium medium(sim, sim::Rng(3), cfg, counters, 50.0);
+  medium.attach(1, {0, 0}, 50.0, {});
+  int delivered = 0;
+  medium.attach(2, {10, 0}, 50.0, [&](const Packet&, NodeId) { ++delivered; });
+  Packet p;
+  p.type = PacketType::kBeacon;
+  p.dst = 2;
+  EXPECT_FALSE(medium.unicast(1, 2, p));
+  sim.run_all();
+  EXPECT_EQ(delivered, 0);
+  // Initial attempt + 4 retries, each on air and counted.
+  EXPECT_EQ(counters.get(MessageCategory::kBeacon), 5u);
+}
+
+TEST(MediumLossTest, LosslessUnreachableUnicastFailsAfterOneTransmission) {
+  sim::Simulator sim;
+  metrics::TransmissionCounters counters;
+  RadioConfig cfg;
+  cfg.unicast_retries = 7;  // must NOT be burned: retrying is futile at loss=0
+  Medium medium(sim, sim::Rng(3), cfg, counters, 50.0);
+  medium.attach(1, {0, 0}, 50.0, {});
+  medium.attach(2, {200, 0}, 50.0, {});  // out of range
+  Packet p;
+  p.type = PacketType::kBeacon;
+  p.dst = 2;
+  EXPECT_FALSE(medium.unicast(1, 2, p));
+  EXPECT_EQ(counters.get(MessageCategory::kBeacon), 1u);
+}
+
 // --- Collision model -------------------------------------------------------------
 
 TEST(MediumCollisionTest, OverlappingBroadcastsCorruptEachOther) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/link_model.hpp"
 #include "trace/log.hpp"
 
 namespace sensrep::tools {
@@ -107,6 +108,36 @@ class Args {
   std::vector<std::string> known_;
 };
 
+/// Parses a comma-separated list of doubles ("0.2,0.5,0.9"). Validates the
+/// element count against [min_items, max_items] so flags packing several
+/// parameters into one value (--chaos-burst=pEnter,pExit,lossBad) reject
+/// malformed input with the flag name in the message.
+inline std::vector<double> parse_double_list(const std::string& flag, const std::string& s,
+                                             std::size_t min_items, std::size_t max_items) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    auto end = s.find(',', start);
+    if (end == std::string::npos) end = s.size();
+    const std::string item = s.substr(start, end - start);
+    try {
+      std::size_t used = 0;
+      out.push_back(std::stod(item, &used));
+      if (used != item.size()) throw std::invalid_argument(item);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--" + flag + ": expected a number, got '" + item + "'");
+    }
+    start = end + 1;
+  }
+  if (out.size() < min_items || out.size() > max_items) {
+    throw std::invalid_argument("--" + flag + ": expected between " +
+                                std::to_string(min_items) + " and " +
+                                std::to_string(max_items) + " comma-separated values, got " +
+                                std::to_string(out.size()));
+  }
+  return out;
+}
+
 /// Rejects fault-injection event times at or past the run's end: a crash or
 /// repair scheduled at t >= duration silently never fires, which makes fault
 /// experiments easy to misconfigure (the run looks fault-free). `flag` names
@@ -119,6 +150,56 @@ inline void validate_crash_times(const std::string& flag, const std::vector<doub
                                   " is at or past --duration " + std::to_string(duration) +
                                   " and would never fire");
     }
+  }
+}
+
+/// The --chaos-* flag family, shared by sensrep_cli and sensrep_sweep:
+///
+///   --chaos-burst=pEnter,pExit,lossBad[,lossGood]  Gilbert-Elliott bursty loss
+///   --chaos-dup=P[,extraDelay]   duplicate a delivered reception with prob. P
+///   --chaos-jitter=P,maxExtra    extra uniform(0,maxExtra) delay with prob. P
+///   --chaos-partition=t0,t1[,x0,y0,x1,y1]  jam window [t0,t1); with the four
+///                                coordinates only nodes inside the rect are
+///                                jammed, without them the blackout is global
+///
+/// Values are range-validated by chaos::ChaosConfig::validate() when the
+/// Medium is constructed; this helper only parses shape.
+inline void apply_chaos_flags(Args& args, chaos::ChaosConfig& chaos) {
+  if (const auto v = args.get("chaos-burst")) {
+    const auto p = parse_double_list("chaos-burst", *v, 3, 4);
+    chaos.burst.enabled = true;
+    chaos.burst.p_enter_bad = p[0];
+    chaos.burst.p_exit_bad = p[1];
+    chaos.burst.loss_bad = p[2];
+    if (p.size() > 3) chaos.burst.loss_good = p[3];
+  }
+  if (const auto v = args.get("chaos-dup")) {
+    const auto p = parse_double_list("chaos-dup", *v, 1, 2);
+    chaos.duplication.enabled = true;
+    chaos.duplication.probability = p[0];
+    if (p.size() > 1) chaos.duplication.extra_delay_s = p[1];
+  }
+  if (const auto v = args.get("chaos-jitter")) {
+    const auto p = parse_double_list("chaos-jitter", *v, 2, 2);
+    chaos.jitter.enabled = true;
+    chaos.jitter.probability = p[0];
+    chaos.jitter.max_extra_s = p[1];
+  }
+  if (const auto v = args.get("chaos-partition")) {
+    const auto p = parse_double_list("chaos-partition", *v, 2, 6);
+    if (p.size() != 2 && p.size() != 6) {
+      throw std::invalid_argument(
+          "--chaos-partition: expected t0,t1 or t0,t1,x0,y0,x1,y1");
+    }
+    chaos::PartitionWindow window;
+    window.start_s = p[0];
+    window.end_s = p[1];
+    if (p.size() == 6) {
+      window.has_zone = true;
+      window.zone_min = {p[2], p[3]};
+      window.zone_max = {p[4], p[5]};
+    }
+    chaos.partitions.push_back(window);
   }
 }
 

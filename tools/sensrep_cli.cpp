@@ -9,6 +9,15 @@
 //   --replications=N    run N seeds and report mean +- 95% CI (default 1)
 //   --jobs=N            worker threads for --replications (default: all cores)
 //   --loss=P            per-reception Bernoulli loss probability (default 0)
+//   --chaos-burst=pEnter,pExit,lossBad[,lossGood]  Gilbert-Elliott bursty loss
+//   --chaos-dup=P[,extraDelay]   duplicate delivered receptions with prob. P
+//   --chaos-jitter=P,maxExtra    reorder-inducing extra delay with prob. P
+//   --chaos-partition=t0,t1[,x0,y0,x1,y1]  jam window (rect zone or global)
+//   --check-invariants  run the chaos::InvariantChecker oracle during and
+//                       after the run; any violation fails the run
+//   --invariant-report=PATH  with --check-invariants: collect violations
+//                       instead of failing fast and write the report to PATH
+//                       (exit 3 when violations were found)
 //   --partition=square|hexagon              fixed algorithm subarea shape
 //   --fringe=M          dynamic relay fringe in meters (default 20)
 //   --lifetime=exponential|weibull:K|battery:J   lifetime distribution
@@ -62,9 +71,11 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "chaos/invariant_checker.hpp"
 #include "core/replication.hpp"
 #include "core/simulation.hpp"
 #include "runner/executor.hpp"
@@ -206,7 +217,8 @@ int main(int argc, char** argv) {
     cfg.robots = args.get_u64("robots", 4);
     cfg.seed = args.get_u64("seed", 1);
     cfg.sim_duration = args.get_double("duration", 64000.0);
-    cfg.radio.loss_probability = args.get_double("loss", 0.0);
+    cfg.radio.loss_probability = args.get_double_in("loss", 0.0, 0.0, 1.0);
+    tools::apply_chaos_flags(args, cfg.radio.chaos);
     cfg.dynamic_fringe = args.get_double("fringe", 20.0);
     cfg.field.lifetime.mean = args.get_double("mean-lifetime", 16000.0);
     parse_lifetime(args.get_string("lifetime", "exponential"), cfg.field.lifetime);
@@ -280,14 +292,19 @@ int main(int argc, char** argv) {
     const bool profile = args.has("profile");
     const bool histogram = args.has("histogram");
     const bool quiet = args.has("quiet");
+    const bool check_invariants = args.has("check-invariants");
+    const auto invariant_report = args.get_string("invariant-report", "");
     args.reject_unknown();
     cfg.validate();
+    if (!invariant_report.empty() && !check_invariants) {
+      throw std::invalid_argument("--invariant-report requires --check-invariants");
+    }
 
     const bool tracing = !trace_out.empty() || !trace_jsonl.empty() || !stage_csv.empty();
-    if (replications > 1 && (tracing || !timeseries_path.empty())) {
+    if (replications > 1 && (tracing || !timeseries_path.empty() || check_invariants)) {
       throw std::invalid_argument(
-          "--trace-out/--trace-jsonl/--stage-csv/--timeseries-out follow a single "
-          "run; drop --replications to use them");
+          "--trace-out/--trace-jsonl/--stage-csv/--timeseries-out/--check-invariants "
+          "follow a single run; drop --replications to use them");
     }
     if (profile) {
       obs::Profiler::reset();
@@ -329,6 +346,17 @@ int main(int argc, char** argv) {
     obs::Tracer tracer;
     if (tracing) simulation.attach_tracer(tracer);
 
+    // The oracle self-arms its periodic check on construction; the tracer is
+    // handed over only when tracing is on from t=0 (span balance would
+    // false-positive on a partial trace).
+    std::unique_ptr<chaos::InvariantChecker> checker;
+    if (check_invariants) {
+      chaos::InvariantCheckerOptions opts;
+      opts.fail_fast = invariant_report.empty();
+      checker = std::make_unique<chaos::InvariantChecker>(
+          simulation, opts, tracing ? &tracer : nullptr);
+    }
+
     // Periodic fleet/backlog telemetry, sampled on the virtual clock. 200
     // samples across the horizon keeps files small at any duration.
     metrics::TimeSeries live_robots, pending_tasks, unrepaired_failures;
@@ -359,6 +387,7 @@ int main(int argc, char** argv) {
     simulation.simulator().set_interrupt([] { return service::shutdown_requested(); });
     simulation.run();
     const bool interrupted = simulation.simulator().interrupted();
+    if (checker && !interrupted) checker->check_final();
     const auto result = simulation.result();
     if (interrupted && !quiet) {
       std::cout << "interrupted at t=" << simulation.simulator().now()
@@ -459,6 +488,23 @@ int main(int argc, char** argv) {
     if (profile) {
       obs::Profiler::enable(false);
       std::cout << obs::Profiler::report();
+    }
+    if (checker) {
+      if (!quiet) {
+        std::cout << "invariant oracle: " << checker->checks_run() << " check(s), "
+                  << checker->violations().size() << " violation(s)\n";
+      }
+      if (!invariant_report.empty()) {
+        if (!checker->write_report(invariant_report)) {
+          std::cerr << "sensrep_cli: failed to write " << invariant_report << "\n";
+          return 2;
+        }
+        if (!checker->ok()) {
+          std::cerr << "sensrep_cli: invariant violations recorded in "
+                    << invariant_report << "\n";
+          return 3;
+        }
+      }
     }
     return interrupted ? 130 : 0;
   } catch (const std::exception& e) {

@@ -20,6 +20,14 @@
 //   --retries=N      extra attempts per failed run (default 0)
 //   --gnuplot=PATH   also write a gnuplot script plotting figs 2-4 from the CSV
 //   --loss=P         per-reception Bernoulli loss probability for every cell
+//   --chaos-burst=pEnter,pExit,lossBad[,lossGood]  Gilbert-Elliott bursty
+//                    loss in every cell (E18 grid)
+//   --chaos-dup=P[,extraDelay]   duplicate delivered receptions
+//   --chaos-jitter=P,maxExtra    reorder-inducing extra delay
+//   --chaos-partition=t0,t1[,x0,y0,x1,y1]  jam window (rect zone or global)
+//   --check-invariants  run every cell under the chaos::InvariantChecker
+//                    oracle; a violation fails that cell (fail-fast throw
+//                    surfaces as a job failure, siblings keep running)
 //   --reliable-reports  acked failure reports with retransmission (pairs
 //                    with --loss for the E11 robustness grid)
 //   --robot-mtbf=S   mean time between robot failures ("inf" disables, the
@@ -38,7 +46,10 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <stdexcept>
 
+#include "chaos/invariant_checker.hpp"
+#include "core/simulation.hpp"
 #include "obs/profiler.hpp"
 #include "runner/executor.hpp"
 #include "service/signal.hpp"
@@ -90,6 +101,9 @@ int main(int argc, char** argv) {
     const std::string gnuplot_path = args.get_string("gnuplot", "");
     const double inf = std::numeric_limits<double>::infinity();
     const double loss = args.get_double_in("loss", 0.0, 0.0, 1.0);
+    chaos::ChaosConfig chaos_cfg;
+    tools::apply_chaos_flags(args, chaos_cfg);
+    const bool check_invariants = args.has("check-invariants");
     const bool reliable_reports = args.has("reliable-reports");
     const double robot_mtbf = args.get_double_in("robot-mtbf", inf, 1.0, inf);
     const double robot_mttr = args.get_double_in("robot-mttr", inf, 1.0, inf);
@@ -109,6 +123,7 @@ int main(int argc, char** argv) {
     grid.seeds = seeds;
     grid.base.sim_duration = duration;
     grid.base.radio.loss_probability = loss;
+    grid.base.radio.chaos = chaos_cfg;
     grid.base.field.reliable_reports = reliable_reports;
     grid.base.robot_faults.mtbf = robot_mtbf;
     grid.base.robot_faults.mttr = robot_mttr;
@@ -126,7 +141,25 @@ int main(int argc, char** argv) {
     options.cancelled = [] { return service::shutdown_requested(); };
     runner::Executor executor(options);
 
-    const auto batch = executor.run(grid, &csv);
+    runner::BatchResult batch;
+    if (check_invariants) {
+      // Custom RunFn: every cell carries a fail-fast invariant oracle. A
+      // violation throws from the worker and surfaces as that cell's
+      // JobFailure record; sibling cells keep running.
+      const auto oracle_run = [](const runner::Job& job) {
+        job.config.validate();
+        core::Simulation sim(job.config);
+        chaos::InvariantChecker checker(sim);  // defaults: fail_fast
+        sim.simulator().set_interrupt([] { return service::shutdown_requested(); });
+        sim.run();
+        if (sim.simulator().interrupted()) throw std::runtime_error("cancelled");
+        checker.check_final();
+        return sim.result();
+      };
+      batch = executor.run(grid.expand(), oracle_run, &csv);
+    } else {
+      batch = executor.run(grid, &csv);
+    }
     progress.finish();
 
     const bool interrupted = service::shutdown_requested();
