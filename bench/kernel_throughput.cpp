@@ -6,11 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/simulation.hpp"
 #include "geometry/rect.hpp"
 #include "geometry/spatial_hash.hpp"
 #include "metrics/counters.hpp"
@@ -230,6 +232,47 @@ void BM_SensorNearestGrid(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SensorNearestGrid)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// --- end-to-end ticks/sec: data-oriented vs legacy hot path (E19) ------------
+//
+// Whole simulations at scale, measuring executed events per wall second —
+// the number every figure bench's runtime divides by. Args are
+// (sensors, data_oriented); CI runs the 100000-sensor pair and feeds
+// items_per_second into tools/check_ticks_regression.sh, which fails the job
+// on a >15% regression of the pooled/SoA path against the committed
+// baseline. Construction (deployment, discovery floods) is excluded via
+// manual timing: the hot loop is what PR 8 restructured.
+//
+// Horizons shrink as the field grows so the 1M-sensor point stays tractable
+// on a laptop; ticks/sec is a rate, so the horizon only sets how much signal
+// is averaged.
+
+void BM_EndToEndTicks(benchmark::State& state) {
+  const auto sensors = static_cast<std::size_t>(state.range(0));
+  const bool data_oriented = state.range(1) != 0;
+  sensrep::core::SimulationConfig cfg;
+  cfg.algorithm = sensrep::core::Algorithm::kFixedDistributed;  // no manager hub
+  cfg.robots = sensors / 50;  // paper density: 50 sensors per robot
+  cfg.seed = 2026;
+  cfg.sim_duration = sensors >= 1000000 ? 20.0 : sensors >= 100000 ? 100.0 : 400.0;
+  cfg.field.data_oriented = data_oriented;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sensrep::core::Simulation sim(cfg);
+    const auto start = std::chrono::steady_clock::now();
+    sim.run();
+    const auto stop = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(stop - start).count());
+    events += sim.simulator().executed();
+  }
+  benchmark::DoNotOptimize(events);
+  // items_per_second == executed events / timed wall seconds == ticks/sec.
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EndToEndTicks)
+    ->ArgsProduct({{10000, 100000, 1000000}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MediumBroadcast(benchmark::State& state) {
   sensrep::sim::Simulator sim;

@@ -100,8 +100,12 @@ void CoordinationAlgorithm::broadcast_location_update(robot::RobotNode& robot, b
 
 geometry::Vec2 CoordinationAlgorithm::idle_home(const robot::RobotNode& robot) const {
   std::vector<geometry::Vec2> sites;
-  sites.reserve(ctx_.robots->size());
-  for (const auto& r : *ctx_.robots) sites.push_back(r->position());
+  if (config().field.data_oriented) {
+    sites = robot_pos_;  // the flat mirror IS the site list
+  } else {
+    sites.reserve(ctx_.robots->size());
+    for (const auto& r : *ctx_.robots) sites.push_back(r->position());
+  }
   const geometry::VoronoiDiagram voronoi(sites, config().field_area());
   const auto& cell = voronoi.cell(robot_index(robot.id()));
   return cell.empty() ? robot.position() : cell.centroid();
@@ -150,9 +154,10 @@ void CoordinationAlgorithm::on_robot_repaired(robot::RobotNode& robot) {
 }
 
 void CoordinationAlgorithm::on_robot_moved(robot::RobotNode& robot) {
+  const std::size_t index = robot_index(robot.id());
+  robot_pos_[index] = robot.position();
   if (robot_grid_) {
-    robot_grid_->move(static_cast<std::uint32_t>(robot_index(robot.id())),
-                      robot.position());
+    robot_grid_->move(static_cast<std::uint32_t>(index), robot.position());
   }
 }
 
@@ -216,14 +221,15 @@ robot::RobotNode* CoordinationAlgorithm::closest_live_robot(geometry::Vec2 pos) 
     });
     return best ? &robot_at(*best) : nullptr;
   }
+  const bool soa = config().field.data_oriented;
   robot::RobotNode* best = nullptr;
   double best_d = 0.0;
   for (std::size_t i = 0; i < robot_count(); ++i) {
     if (ft_active_ && presumed_dead_[i]) continue;
-    auto& r = robot_at(i);
-    const double d = geometry::distance(r.position(), pos);
+    const geometry::Vec2 rp = soa ? robot_pos_[i] : robot_at(i).position();
+    const double d = geometry::distance(rp, pos);
     if (!best || d < best_d) {
-      best = &r;
+      best = &robot_at(i);
       best_d = d;
     }
   }
@@ -238,10 +244,12 @@ std::optional<std::size_t> CoordinationAlgorithm::nearest_robot_index(
     if (!best) return std::nullopt;
     return static_cast<std::size_t>(*best);
   }
+  const bool soa = config().field.data_oriented;
   std::optional<std::size_t> best;
   double best_d2 = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < robot_count(); ++i) {
-    const double d2 = geometry::distance2(robot_at(i).position(), pos);
+    const geometry::Vec2 rp = soa ? robot_pos_[i] : robot_at(i).position();
+    const double d2 = geometry::distance2(rp, pos);
     if (d2 < best_d2) {
       best_d2 = d2;
       best = i;

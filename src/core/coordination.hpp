@@ -56,7 +56,14 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
  public:
   /// Late-binds the runtime context (nodes are constructed after the policy,
   /// which the SensorField constructor needs).
-  virtual void bind(const SystemContext& ctx) { ctx_ = ctx; }
+  virtual void bind(const SystemContext& ctx) {
+    ctx_ = ctx;
+    // Seed the flat fleet-position mirror (kept in sync by on_robot_moved).
+    robot_pos_.resize(robot_count());
+    for (std::size_t i = 0; i < robot_count(); ++i) {
+      robot_pos_[i] = robot_at(i).position();
+    }
+  }
 
   /// Paper §2, stage (a): set up roles, manager knowledge, sensors' myrobot
   /// relationships. Runs at t=0, before SensorField::start(). Initialization
@@ -242,6 +249,11 @@ class CoordinationAlgorithm : public wsn::SensorPolicy, public robot::RobotPolic
   /// expire nobody and skips its scan (spatial_index batched sweep).
   sim::SimTime lease_floor_ = 0.0;
   std::optional<spatial::UniformGrid2D<std::uint32_t>> robot_grid_;  // fleet index -> pos
+  /// Flat struct-of-arrays mirror of fleet positions (index == fleet index),
+  /// synced by on_robot_moved. data_oriented reads (Voronoi idle-home site
+  /// lists, brute nearest scans) walk this vector instead of dereferencing
+  /// per-robot objects; writes are unconditional so both paths stay exact.
+  std::vector<geometry::Vec2> robot_pos_;
   /// Exact report copies already processed, keyed (originator, seq). Reports
   /// are rare (one per sensor failure plus retries), so the set stays small.
   std::set<std::pair<net::NodeId, std::uint32_t>> seen_reports_;

@@ -29,15 +29,26 @@ void SpatialHash::upsert(std::uint32_t key, Vec2 pos) {
     const std::uint64_t old_bucket = pack(cell_of(it->second));
     const std::uint64_t new_bucket = pack(cell_of(pos));
     it->second = pos;
-    if (old_bucket == new_bucket) return;
+    if (old_bucket == new_bucket) {
+      auto& vec = buckets_[old_bucket];
+      for (BucketEntry& e : vec) {
+        if (e.key == key) {
+          e.pos = pos;
+          break;
+        }
+      }
+      return;
+    }
     auto& vec = buckets_[old_bucket];
-    vec.erase(std::remove(vec.begin(), vec.end(), key), vec.end());
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [key](const BucketEntry& e) { return e.key == key; }),
+              vec.end());
     if (vec.empty()) buckets_.erase(old_bucket);
-    buckets_[new_bucket].push_back(key);
+    buckets_[new_bucket].push_back({key, pos});
     return;
   }
   positions_.emplace(key, pos);
-  buckets_[pack(cell_of(pos))].push_back(key);
+  buckets_[pack(cell_of(pos))].push_back({key, pos});
 }
 
 void SpatialHash::erase(std::uint32_t key) {
@@ -45,7 +56,9 @@ void SpatialHash::erase(std::uint32_t key) {
   if (it == positions_.end()) return;
   const std::uint64_t bucket = pack(cell_of(it->second));
   auto& vec = buckets_[bucket];
-  vec.erase(std::remove(vec.begin(), vec.end(), key), vec.end());
+  vec.erase(std::remove_if(vec.begin(), vec.end(),
+                           [key](const BucketEntry& e) { return e.key == key; }),
+            vec.end());
   if (vec.empty()) buckets_.erase(bucket);
   positions_.erase(it);
 }
@@ -70,8 +83,8 @@ std::vector<std::uint32_t> SpatialHash::query_ball(Vec2 center, double radius) c
     for (std::int64_t cx = lo.cx; cx <= hi.cx; ++cx) {
       auto it = buckets_.find(pack({cx, cy}));
       if (it == buckets_.end()) continue;
-      for (const std::uint32_t key : it->second) {
-        if (distance2(positions_.at(key), center) <= r2) out.push_back(key);
+      for (const BucketEntry& e : it->second) {
+        if (distance2(e.pos, center) <= r2) out.push_back(e.key);
       }
     }
   }

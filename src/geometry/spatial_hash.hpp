@@ -51,8 +51,16 @@ class SpatialHash {
   [[nodiscard]] CellCoord cell_of(Vec2 p) const noexcept;
   [[nodiscard]] static std::uint64_t pack(CellCoord c) noexcept;
 
+  /// Bucket entries carry the position inline so range queries never chase
+  /// a per-key hash lookup; positions_ stays authoritative for point
+  /// lookups and relocation.
+  struct BucketEntry {
+    std::uint32_t key;
+    Vec2 pos;
+  };
+
   double cell_size_;
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets_;
+  std::unordered_map<std::uint64_t, std::vector<BucketEntry>> buckets_;
   std::unordered_map<std::uint32_t, Vec2> positions_;
 };
 

@@ -46,27 +46,30 @@ Medium::Medium(sim::Simulator& simulator, sim::Rng rng, RadioConfig config,
 
 void Medium::attach(NodeId id, Vec2 pos, double tx_range, ReceiveFn rx) {
   if (!is_real_node(id)) throw std::invalid_argument("Medium::attach: reserved id");
-  if (nodes_.contains(id)) throw std::invalid_argument("Medium::attach: duplicate id");
   if (tx_range <= 0.0) throw std::invalid_argument("Medium::attach: non-positive range");
-  nodes_.emplace(id, Transceiver{pos, tx_range, true, std::move(rx)});
+  if (id >= nodes_.size()) nodes_.resize(id + 1);
+  if (nodes_[id].attached) throw std::invalid_argument("Medium::attach: duplicate id");
+  nodes_[id] = Transceiver{pos, tx_range, true, true, std::move(rx)};
   index_.upsert(id, pos);
 }
 
 void Medium::detach(NodeId id) {
-  nodes_.erase(id);
+  if (id < nodes_.size()) nodes_[id] = Transceiver{};
   index_.erase(id);
 }
 
 const Medium::Transceiver& Medium::get(NodeId id) const {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) throw std::out_of_range("Medium: unknown node");
-  return it->second;
+  if (id >= nodes_.size() || !nodes_[id].attached) {
+    throw std::out_of_range("Medium: unknown node");
+  }
+  return nodes_[id];
 }
 
 Medium::Transceiver& Medium::get(NodeId id) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) throw std::out_of_range("Medium: unknown node");
-  return it->second;
+  if (id >= nodes_.size() || !nodes_[id].attached) {
+    throw std::out_of_range("Medium: unknown node");
+  }
+  return nodes_[id];
 }
 
 void Medium::set_position(NodeId id, Vec2 pos) {
@@ -76,7 +79,9 @@ void Medium::set_position(NodeId id, Vec2 pos) {
 
 void Medium::set_alive(NodeId id, bool alive_flag) { get(id).alive = alive_flag; }
 
-bool Medium::attached(NodeId id) const noexcept { return nodes_.contains(id); }
+bool Medium::attached(NodeId id) const noexcept {
+  return id < nodes_.size() && nodes_[id].attached;
+}
 
 bool Medium::alive(NodeId id) const { return get(id).alive; }
 
@@ -95,7 +100,7 @@ std::vector<NodeId> Medium::neighbors_of(NodeId sender) const {
   std::vector<NodeId> out;
   for (const NodeId id : index_.query_ball(s.pos, s.tx_range)) {
     if (id == sender) continue;
-    if (!nodes_.at(id).alive) continue;
+    if (!nodes_[id].alive) continue;
     out.push_back(id);
   }
   return out;
@@ -104,7 +109,7 @@ std::vector<NodeId> Medium::neighbors_of(NodeId sender) const {
 std::vector<NodeId> Medium::nodes_near(Vec2 pos, double radius) const {
   std::vector<NodeId> out;
   for (const NodeId id : index_.query_ball(pos, radius)) {
-    if (nodes_.at(id).alive) out.push_back(id);
+    if (nodes_[id].alive) out.push_back(id);
   }
   return out;
 }
@@ -148,10 +153,11 @@ void Medium::deliver_later(NodeId to, Packet pkt, NodeId from, sim::Duration del
       ++collisions_;
       return;
     }
-    auto it = nodes_.find(to);
-    if (it == nodes_.end() || !it->second.alive) return;  // died in flight
+    if (to >= nodes_.size()) return;
+    const Transceiver& r = nodes_[to];
+    if (!r.attached || !r.alive) return;  // detached or died in flight
     ++deliveries_;
-    if (it->second.rx) it->second.rx(pkt, from);
+    if (r.rx) r.rx(pkt, from);
   });
 }
 
@@ -188,7 +194,7 @@ void Medium::broadcast(NodeId sender, Packet pkt) {
   const sim::Duration delay = frame_delay(pkt);
   for (const NodeId id : index_.query_ball(s.pos, s.tx_range)) {
     if (id == sender) continue;
-    const Transceiver& r = nodes_.at(id);
+    const Transceiver& r = nodes_[id];
     if (!r.alive) continue;
     if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) continue;
     if (chaos_) {
@@ -209,15 +215,15 @@ bool Medium::unicast(NodeId sender, NodeId target, Packet pkt) {
   const Transceiver& s = get(sender);
   assert(s.alive && "dead node cannot transmit");
   (void)s;
-  auto it = nodes_.find(target);
-  const bool reachable =
-      it != nodes_.end() && it->second.alive && in_range(sender, target);
+  const Transceiver* t =
+      target < nodes_.size() && nodes_[target].attached ? &nodes_[target] : nullptr;
+  const bool reachable = t != nullptr && t->alive && in_range(sender, target);
 
   // An active partition behaves like loss = 1, not like a missing node: every
   // ARQ attempt is still burned (and counted) before the sender gives up.
   bool jammed = false;
-  if (chaos_ && (jammed_now(sender, s) ||
-                 (it != nodes_.end() && jammed_now(target, it->second)))) {
+  if (chaos_ &&
+      (jammed_now(sender, s) || (t != nullptr && jammed_now(target, *t)))) {
     jammed = true;
     ++chaos_jams_;
   }

@@ -137,6 +137,7 @@ class Medium {
     geometry::Vec2 pos;
     double tx_range = 0.0;
     bool alive = true;
+    bool attached = false;
     ReceiveFn rx;
   };
 
@@ -168,7 +169,10 @@ class Medium {
   RadioConfig config_;
   metrics::TransmissionCounters* counters_;
   geometry::SpatialHash index_;
-  std::unordered_map<NodeId, Transceiver> nodes_;
+  /// Dense table indexed by NodeId (ids are dense: sensors [0, n), robots and
+  /// the manager right above). Hot delivery paths index straight into it
+  /// instead of hashing per receiver.
+  std::vector<Transceiver> nodes_;
   std::unordered_map<NodeId, std::vector<PendingArrival>> pending_;
   std::uint64_t deliveries_ = 0;
   std::uint64_t collisions_ = 0;

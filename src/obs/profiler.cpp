@@ -60,4 +60,18 @@ std::string Profiler::report() {
   return out;
 }
 
+std::string Profiler::report_csv() {
+  std::string out = "probe,calls,total_ns\n";
+  char line[128];
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const auto p = static_cast<Probe>(i);
+    const Snapshot s = snapshot(p);
+    std::snprintf(line, sizeof line, "%s,%llu,%llu\n", std::string(to_string(p)).c_str(),
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<unsigned long long>(s.ns));
+    out += line;
+  }
+  return out;
+}
+
 }  // namespace sensrep::obs

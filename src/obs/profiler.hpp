@@ -64,6 +64,11 @@ class Profiler {
   /// summed probe time. Probes that never fired are omitted.
   [[nodiscard]] static std::string report();
 
+  /// Machine-readable rows (`probe,calls,total_ns`, header included). Every
+  /// probe is emitted — zeros too — so downstream regression tooling sees a
+  /// stable row set across runs.
+  [[nodiscard]] static std::string report_csv();
+
  private:
   struct Cell {
     std::atomic<std::uint64_t> count{0};

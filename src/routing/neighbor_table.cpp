@@ -7,36 +7,51 @@ namespace sensrep::routing {
 
 using geometry::Vec2;
 
-void NeighborTable::upsert(net::NodeId id, Vec2 pos) { entries_[id] = pos; }
+namespace {
 
-void NeighborTable::remove(net::NodeId id) { entries_.erase(id); }
-
-bool NeighborTable::contains(net::NodeId id) const noexcept { return entries_.contains(id); }
-
-std::optional<Vec2> NeighborTable::position_of(net::NodeId id) const {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
+template <typename Vec>
+auto lower_bound_id(Vec& v, net::NodeId id) {
+  return std::lower_bound(v.begin(), v.end(), id,
+                          [](const NeighborEntry& e, net::NodeId x) { return e.id < x; });
 }
 
-std::vector<NeighborEntry> NeighborTable::entries() const {
-  std::vector<NeighborEntry> out;
-  out.reserve(entries_.size());
-  for (const auto& [id, pos] : entries_) out.push_back({id, pos});
-  std::sort(out.begin(), out.end(),
-            [](const NeighborEntry& a, const NeighborEntry& b) { return a.id < b.id; });
-  return out;
+}  // namespace
+
+void NeighborTable::upsert(net::NodeId id, Vec2 pos) {
+  auto it = lower_bound_id(entries_, id);
+  if (it != entries_.end() && it->id == id) {
+    it->pos = pos;
+  } else {
+    entries_.insert(it, NeighborEntry{id, pos});
+  }
+}
+
+void NeighborTable::remove(net::NodeId id) {
+  auto it = lower_bound_id(entries_, id);
+  if (it != entries_.end() && it->id == id) entries_.erase(it);
+}
+
+bool NeighborTable::contains(net::NodeId id) const noexcept {
+  auto it = lower_bound_id(entries_, id);
+  return it != entries_.end() && it->id == id;
+}
+
+std::optional<Vec2> NeighborTable::position_of(net::NodeId id) const {
+  auto it = lower_bound_id(entries_, id);
+  if (it == entries_.end() || it->id != id) return std::nullopt;
+  return it->pos;
 }
 
 std::optional<NeighborEntry> NeighborTable::closest_to(Vec2 target) const {
   std::optional<NeighborEntry> best;
   double best_d2 = std::numeric_limits<double>::infinity();
-  for (const auto& [id, pos] : entries_) {
-    const double d2 = geometry::distance2(pos, target);
-    // Tie-break toward the lower id for determinism across hash orders.
-    if (d2 < best_d2 || (d2 == best_d2 && best && id < best->id)) {
+  // Ascending-id scan with a strict '<': distance ties resolve to the lower
+  // id, exactly as the explicit tie-break did over hash iteration.
+  for (const NeighborEntry& e : entries_) {
+    const double d2 = geometry::distance2(e.pos, target);
+    if (d2 < best_d2) {
       best_d2 = d2;
-      best = NeighborEntry{id, pos};
+      best = e;
     }
   }
   return best;

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "geometry/vec2.hpp"
@@ -22,6 +21,13 @@ struct NeighborEntry {
 /// when the neighbor is declared failed (3 missed beacons) or a robot moves
 /// out of range — see DESIGN.md substitution 3 for why this is equivalent to
 /// per-beacon refresh for static nodes.
+///
+/// Storage is a flat vector sorted by id (tables hold a dozen-odd entries at
+/// paper densities, so binary search + memmove beat hashing and node
+/// allocation). This is also what makes entries() free: the sorted snapshot
+/// the old hash-map version built and sorted per call *is* the storage.
+/// Behavior is unchanged: closest_to always tie-broke toward the lower id
+/// explicitly, so it never depended on hash iteration order.
 class NeighborTable {
  public:
   /// Adds or refreshes a neighbor's advertised position.
@@ -35,8 +41,12 @@ class NeighborTable {
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
 
-  /// Snapshot of all entries, ascending id (deterministic iteration).
-  [[nodiscard]] std::vector<NeighborEntry> entries() const;
+  /// All entries, ascending id (deterministic iteration). The reference is
+  /// invalidated by upsert/remove/clear — callers that mutate while
+  /// iterating must collect first (they all do).
+  [[nodiscard]] const std::vector<NeighborEntry>& entries() const noexcept {
+    return entries_;
+  }
 
   /// Neighbor geographically closest to `target`; nullopt when empty.
   [[nodiscard]] std::optional<NeighborEntry> closest_to(geometry::Vec2 target) const;
@@ -49,7 +59,7 @@ class NeighborTable {
   void clear() { entries_.clear(); }
 
  private:
-  std::unordered_map<net::NodeId, geometry::Vec2> entries_;
+  std::vector<NeighborEntry> entries_;  // sorted by id
 };
 
 }  // namespace sensrep::routing

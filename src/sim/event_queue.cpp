@@ -1,48 +1,233 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
-#include <stdexcept>
-#include <utility>
-
-#include "obs/profiler.hpp"
-
 namespace sensrep::sim {
 
-EventId EventQueue::schedule(SimTime t, Callback cb) {
-  if (!is_valid_time(t)) throw std::invalid_argument("EventQueue::schedule: invalid time");
-  if (!cb) throw std::invalid_argument("EventQueue::schedule: null callback");
-  const obs::ScopedTimer probe(obs::Probe::kEventPush);
-  const EventId id{next_seq_++};
-  heap_.push(HeapEntry{t, id.value, id});
-  live_.emplace(id.value, std::move(cb));
-  return id;
+EventQueue::~EventQueue() {
+  // Destroy callables the pool still owns. kPopped slots belong to an
+  // outstanding Popped handle, which must not outlive the queue (run loops
+  // destroy the handle before returning, so this holds everywhere).
+  // (kCancelled slots already destroyed their callable; kPopped belong to
+  // the handle.)
+  for (auto& chunk : chunks_) {
+    for (std::uint32_t i = 0; i < kChunkSlots; ++i) {
+      Slot& s = chunk[i];
+      if (s.state == SlotState::kLive) s.destroy(s);
+    }
+  }
+}
+
+void EventQueue::set_legacy(bool legacy) {
+  if (next_seq_ != 1 || !heap_times_.empty()) {
+    throw std::logic_error("EventQueue::set_legacy: queue already used");
+  }
+  legacy_ = legacy;
 }
 
 bool EventQueue::cancel(EventId id) noexcept {
-  return live_.erase(id.value) > 0;
-}
-
-void EventQueue::skim() {
-  while (!heap_.empty() && !live_.contains(heap_.top().id.value)) heap_.pop();
+  if (!id.valid()) return false;
+  if (legacy_) {
+    if (live_map_.erase(id.value) == 0) return false;
+  } else {
+    const auto index = static_cast<std::uint32_t>(id.value >> 32);
+    if (index >= pool_slots()) return false;
+    Slot& s = slot_at(index);
+    if (s.state != SlotState::kLive || s.gen != static_cast<std::uint32_t>(id.value)) {
+      return false;
+    }
+    s.destroy(s);
+    s.invoke = nullptr;
+    s.destroy = nullptr;
+    // Park the slot: its seq must stay readable while the heap entry is
+    // still comparable; skim()/maybe_compact() recycle it on discard.
+    s.state = SlotState::kCancelled;
+    --live_count_;
+  }
+  ++dead_in_heap_;
+  maybe_compact();
+  return true;
 }
 
 SimTime EventQueue::next_time() const {
+  // Logically const: discards already-cancelled heap entries so the reported
+  // time is the one the next pop() will deliver, even right after a
+  // cancel-of-top.
   const_cast<EventQueue*>(this)->skim();
-  assert(!heap_.empty());
-  return heap_.top().time;
+  assert(!heap_times_.empty());
+  return heap_times_.front();
 }
 
 EventQueue::Popped EventQueue::pop() {
   const obs::ScopedTimer probe(obs::Probe::kEventPop);
   skim();
-  assert(!heap_.empty());
-  const HeapEntry top = heap_.top();
-  heap_.pop();
-  auto it = live_.find(top.id.value);
-  assert(it != live_.end());
-  Popped out{top.time, top.id, std::move(it->second)};
-  live_.erase(it);
-  return out;
+  assert(!heap_times_.empty());
+  const HeapEntry top{heap_times_.front(), heap_keys_.front()};
+  heap_pop_front();
+  if (legacy_) {
+    auto it = live_map_.find(top.key);
+    assert(it != live_map_.end());
+    Callback cb = std::move(it->second);
+    live_map_.erase(it);
+    return Popped(top.time, EventId{top.key}, this, kNoSlot, std::move(cb));
+  }
+  const auto index = static_cast<std::uint32_t>(top.key >> 32);
+  slot_at(index).state = SlotState::kPopped;
+  --live_count_;
+  return Popped(top.time, EventId{top.key}, this, index, Callback{});
+}
+
+EventQueue::Popped::~Popped() {
+  if (queue_ != nullptr && slot_ != kNoSlot) queue_->release_popped(slot_);
+}
+
+void EventQueue::Popped::callback() {
+  if (slot_ != kNoSlot) {
+    Slot& s = queue_->slot_at(slot_);
+    s.invoke(s);
+  } else {
+    boxed_();
+  }
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ == kNoSlot) {
+    const auto base = static_cast<std::uint32_t>(pool_slots());
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+    // Thread the fresh chunk onto the free list in increasing-index order so
+    // slot assignment stays deterministic.
+    for (std::uint32_t i = kChunkSlots; i-- > 0;) {
+      chunks_.back()[i].next_free = free_head_;
+      free_head_ = base + i;
+    }
+  }
+  const std::uint32_t index = free_head_;
+  Slot& s = slot_at(index);
+  free_head_ = s.next_free;
+  s.next_free = kNoSlot;
+  return index;
+}
+
+void EventQueue::recycle_slot(std::uint32_t index) noexcept {
+  Slot& s = slot_at(index);
+  s.invoke = nullptr;
+  s.destroy = nullptr;
+  s.seq = 0;
+  if (++s.gen == 0) s.gen = 1;  // generation 0 would make EventId::value 0 (invalid)
+  s.state = SlotState::kFree;
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
+void EventQueue::release_popped(std::uint32_t index) noexcept {
+  Slot& s = slot_at(index);
+  assert(s.state == SlotState::kPopped);
+  s.destroy(s);
+  recycle_slot(index);
+}
+
+bool EventQueue::is_live(std::uint64_t key) const noexcept {
+  if (legacy_) return live_map_.contains(key);
+  const auto index = static_cast<std::uint32_t>(key >> 32);
+  if (index >= pool_slots()) return false;
+  const Slot& s = slot_at(index);
+  return s.state == SlotState::kLive && s.gen == static_cast<std::uint32_t>(key);
+}
+
+/// Recycles the parked slot backing a dead pooled heap entry (no-op for
+/// legacy keys, whose map node is long gone).
+void EventQueue::drop_dead_key(std::uint64_t key) noexcept {
+  if (legacy_) return;
+  const auto index = static_cast<std::uint32_t>(key >> 32);
+  [[maybe_unused]] const Slot& s = slot_at(index);
+  assert(s.state == SlotState::kCancelled &&
+         s.gen == static_cast<std::uint32_t>(key));
+  recycle_slot(index);
+}
+
+void EventQueue::skim() {
+  while (!heap_times_.empty() && !is_live(heap_keys_.front())) {
+    drop_dead_key(heap_keys_.front());
+    heap_pop_front();
+    --dead_in_heap_;
+  }
+}
+
+void EventQueue::maybe_compact() noexcept {
+  if (heap_times_.size() < kCompactFloor) return;
+  if (dead_in_heap_ <= heap_times_.size() - dead_in_heap_) return;
+  std::size_t keep = 0;
+  const std::size_t n = heap_times_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = heap_keys_[i];
+    if (is_live(key)) {
+      heap_times_[keep] = heap_times_[i];
+      heap_keys_[keep] = key;
+      ++keep;
+    } else {
+      drop_dead_key(key);
+    }
+  }
+  heap_times_.resize(keep);
+  heap_keys_.resize(keep);
+  heap_rebuild();
+  dead_in_heap_ = 0;
+}
+
+void EventQueue::heap_push(const HeapEntry& e) {
+  std::size_t i = heap_times_.size();
+  // Placeholders; overwritten by the hole shuffle below.
+  heap_times_.push_back(e.time);
+  heap_keys_.push_back(e.key);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!pops_later(heap_times_[parent], heap_keys_[parent], e.time, e.key)) break;
+    heap_times_[i] = heap_times_[parent];
+    heap_keys_[i] = heap_keys_[parent];
+    i = parent;
+  }
+  heap_times_[i] = e.time;
+  heap_keys_[i] = e.key;
+}
+
+std::size_t EventQueue::heap_sift_down(std::size_t i, HeapEntry e) noexcept {
+  const std::size_t n = heap_times_.size();
+  for (;;) {
+    const std::size_t first = kHeapArity * i + 1;
+    if (first >= n) break;
+    // Min-of-children scan on the dense timestamp array; keys are only
+    // consulted on an exact timestamp tie.
+    std::size_t best = first;
+    SimTime best_t = heap_times_[first];
+    const std::size_t last = std::min(first + kHeapArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      const SimTime ct = heap_times_[c];
+      if (ct != best_t ? ct < best_t
+                       : seq_of(heap_keys_[best]) > seq_of(heap_keys_[c])) {
+        best = c;
+        best_t = ct;
+      }
+    }
+    if (!pops_later(e.time, e.key, best_t, heap_keys_[best])) break;
+    heap_times_[i] = best_t;
+    heap_keys_[i] = heap_keys_[best];
+    i = best;
+  }
+  heap_times_[i] = e.time;
+  heap_keys_[i] = e.key;
+  return i;
+}
+
+void EventQueue::heap_pop_front() noexcept {
+  const HeapEntry last{heap_times_.back(), heap_keys_.back()};
+  heap_times_.pop_back();
+  heap_keys_.pop_back();
+  if (!heap_times_.empty()) (void)heap_sift_down(0, last);
+}
+
+void EventQueue::heap_rebuild() noexcept {
+  if (heap_times_.size() < 2) return;
+  for (std::size_t i = (heap_times_.size() - 2) / kHeapArity + 1; i-- > 0;) {
+    (void)heap_sift_down(i, HeapEntry{heap_times_[i], heap_keys_[i]});
+  }
 }
 
 }  // namespace sensrep::sim

@@ -1,11 +1,19 @@
 #pragma once
 
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "sim/time.hpp"
 
 namespace sensrep::sim {
@@ -25,57 +33,301 @@ struct EventId {
 /// equal timestamps pop in schedule order (monotone sequence number). This
 /// makes simulation runs bit-reproducible for a fixed seed.
 ///
-/// Cancellation is lazy: cancel() erases the callback from the live map and
-/// the heap entry is skipped when it surfaces, so cancel() never needs to
-/// re-heapify.
+/// Storage (the default, pooled mode) is allocation-free on the hot path:
+/// callbacks live in slab-allocated slots recycled through a free list, and
+/// a callable whose size fits kInlineBytes — which covers every capture the
+/// simulation schedules, including the medium's in-flight Packet deliveries —
+/// is constructed in place, never on the heap. EventIds carry (slot index,
+/// generation); a recycled slot bumps its generation so stale ids can never
+/// cancel or observe a later tenant.
+///
+/// Cancellation is lazy: cancel() destroys the callback immediately
+/// (dropping captured resources right away, exactly like the old map erase)
+/// and parks the slot until the heap entry is discarded — the slot keeps the
+/// sequence number a parked entry still tie-breaks with. To keep
+/// lazily-cancelled entries from outnumbering live ones unboundedly under
+/// cancel/reschedule churn (lease auto-tune, every() timers), the heap is
+/// compacted in place whenever dead entries exceed live ones.
+///
+/// The legacy mode (set_legacy) retains the previous implementation —
+/// boxed std::function callbacks in an unordered_map — as a differential
+/// oracle: tests drive identical operation sequences through both modes and
+/// require identical pop order and timestamps.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Schedules `cb` at absolute time `t`. Requires is_valid_time(t).
-  EventId schedule(SimTime t, Callback cb);
+  /// Inline storage per slot; sized so the largest hot-path capture (a
+  /// Medium delivery closure holding a 160-byte Packet by value plus the
+  /// collision token) still fits. Bigger callables fall back to one boxed
+  /// heap allocation.
+  static constexpr std::size_t kInlineBytes = 208;
+
+  EventQueue() = default;
+  ~EventQueue();
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Switches to the legacy (map + std::function) storage strategy. Only
+  /// callable before the first schedule(); throws std::logic_error after.
+  void set_legacy(bool legacy);
+  [[nodiscard]] bool legacy() const noexcept { return legacy_; }
+
+  /// Schedules `cb` at absolute time `t`. Requires is_valid_time(t) and, for
+  /// callables testable for null (std::function, function pointers), a
+  /// non-null callable.
+  template <typename F>
+  EventId schedule(SimTime t, F&& cb) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_v<Fn&>, "EventQueue callback must be invocable");
+    if (!is_valid_time(t)) throw std::invalid_argument("EventQueue::schedule: invalid time");
+    if constexpr (std::is_constructible_v<bool, const Fn&>) {
+      if (!static_cast<bool>(cb)) {
+        throw std::invalid_argument("EventQueue::schedule: null callback");
+      }
+    }
+    const obs::ScopedTimer probe(obs::Probe::kEventPush);
+    const std::uint64_t seq = next_seq_++;
+    EventId id;
+    if (legacy_) {
+      id.value = seq;
+      live_map_.emplace(seq, Callback(std::forward<F>(cb)));
+    } else {
+      id.value = store(std::forward<F>(cb), seq);
+    }
+    heap_push(HeapEntry{t, id.value});
+    return id;
+  }
 
   /// Cancels a pending event. Returns false if the event already fired,
-  /// was already cancelled, or the id was never issued.
+  /// was already cancelled, or the id was never issued. The callback (and
+  /// everything it captured) is destroyed immediately; the heap entry is
+  /// discarded lazily, bounded by compaction.
   bool cancel(EventId id) noexcept;
 
   /// True if there is at least one live (non-cancelled) event pending.
-  [[nodiscard]] bool empty() const noexcept { return live_.empty(); }
+  [[nodiscard]] bool empty() const noexcept {
+    return legacy_ ? live_map_.empty() : live_count_ == 0;
+  }
 
   /// Number of live pending events.
-  [[nodiscard]] std::size_t size() const noexcept { return live_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return legacy_ ? live_map_.size() : live_count_;
+  }
 
-  /// Timestamp of the earliest live event. Requires !empty().
+  /// Timestamp of the earliest live event. Requires !empty(). Always skims
+  /// cancelled entries off the top first, so the value agrees with what the
+  /// next pop() will return even right after a cancel of the previous top.
   [[nodiscard]] SimTime next_time() const;
 
-  /// Pops the earliest live event and returns its (time, callback).
-  /// Requires !empty().
-  struct Popped {
-    SimTime time;
-    EventId id;
-    Callback callback;
+  /// Handle to the earliest live event, extracted from the queue. Invoke the
+  /// callback with callback(); the pooled slot (and the captures inside it)
+  /// is released when the Popped handle is destroyed, which must happen
+  /// before the queue itself is destroyed.
+  class Popped {
+   public:
+    Popped(Popped&& other) noexcept
+        : time(other.time), id(other.id), queue_(other.queue_), slot_(other.slot_),
+          boxed_(std::move(other.boxed_)) {
+      other.queue_ = nullptr;
+      other.slot_ = kNoSlot;
+    }
+    Popped& operator=(Popped&&) = delete;
+    Popped(const Popped&) = delete;
+    Popped& operator=(const Popped&) = delete;
+    ~Popped();
+
+    SimTime time = 0.0;
+    EventId id{};
+
+    /// Invokes the popped event's callback.
+    void callback();
+
+   private:
+    friend class EventQueue;
+    Popped(SimTime t, EventId i, EventQueue* q, std::uint32_t slot, Callback boxed)
+        : time(t), id(i), queue_(q), slot_(slot), boxed_(std::move(boxed)) {}
+
+    EventQueue* queue_ = nullptr;
+    std::uint32_t slot_;
+    Callback boxed_;  // legacy mode only
   };
+
+  /// Pops the earliest live event. Requires !empty().
   Popped pop();
 
+  // --- diagnostics (tests, regression guards) -------------------------------
+
+  /// Heap entries currently held, live and lazily-cancelled alike. The
+  /// compaction invariant keeps this <= 2 * size() + 1 between operations
+  /// (beyond the small compaction floor).
+  [[nodiscard]] std::size_t heap_size() const noexcept { return heap_times_.size(); }
+
+  /// Lazily-cancelled entries still parked in the heap.
+  [[nodiscard]] std::size_t dead_entries() const noexcept { return dead_in_heap_; }
+
+  /// Slots ever materialized by the pool (0 in legacy mode). Bounded by the
+  /// peak number of simultaneously pending-or-parked entries (itself bounded
+  /// by compaction), not by throughput.
+  [[nodiscard]] std::size_t pool_slots() const noexcept {
+    return chunks_.size() * kChunkSlots;
+  }
+
  private:
+  /// An in-flight (time, key) pair being pushed or sifted. The resident heap
+  /// itself is stored structure-of-arrays (heap_times_ / heap_keys_): the
+  /// heap is the hot loop's biggest array (hundreds of thousands of entries)
+  /// and sift comparisons only need timestamps, so keeping the times densely
+  /// packed — 4 children in 32 bytes — halves the comparison traffic. Keys
+  /// are touched only when an entry moves or on a timestamp tie, which
+  /// jittered delivery times make rare.
   struct HeapEntry {
     SimTime time;
-    std::uint64_t seq;
-    EventId id;
+    std::uint64_t key;  // EventId::value (slot|gen pooled, seq legacy)
   };
-  struct Later {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+
+  /// Schedule sequence number behind a heap key: lives in the slot (pooled)
+  /// or IS the key (legacy).
+  [[nodiscard]] std::uint64_t seq_of(std::uint64_t key) const noexcept {
+    return legacy_ ? key : slot_at(static_cast<std::uint32_t>(key >> 32)).seq;
+  }
+
+  /// True if (ta, ka) pops after (tb, kb) (min-heap order on (time, seq)).
+  /// The seq fetch is short-circuited away except on a timestamp tie.
+  [[nodiscard]] bool pops_later(SimTime ta, std::uint64_t ka, SimTime tb,
+                                std::uint64_t kb) const noexcept {
+    if (ta != tb) return ta > tb;
+    return seq_of(ka) > seq_of(kb);
+  }
+
+  /// Heap arity. (time, seq) is a strict total order, so the pop sequence is
+  /// the same for any correct heap; 4-ary halves the tree depth and keeps a
+  /// node's children in adjacent cache lines, which measurably cuts both
+  /// sift directions at simulation-sized queues (hundreds of thousands of
+  /// pending events).
+  static constexpr std::size_t kHeapArity = 4;
+
+  /// Appends `e` and sifts it up (4-ary).
+  void heap_push(const HeapEntry& e);
+  /// Removes heap_.front() and restores the heap property (4-ary).
+  void heap_pop_front() noexcept;
+  /// Sifts `e` down from index `i`; returns its final resting index.
+  [[nodiscard]] std::size_t heap_sift_down(std::size_t i, HeapEntry e) noexcept;
+  /// Floyd heapify of the whole vector (compaction).
+  void heap_rebuild() noexcept;
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::uint32_t kChunkSlots = 256;
+  /// Compaction kicks in only past this many heap entries, so tiny queues
+  /// never churn their heap.
+  static constexpr std::size_t kCompactFloor = 64;
+
+  /// kCancelled: callback destroyed, but the slot is parked (not on the
+  /// free list) until skim/compaction drops the heap entry, keeping `seq`
+  /// stable for tie-break comparisons against the parked entry.
+  enum class SlotState : std::uint8_t { kFree, kLive, kPopped, kCancelled };
+
+  struct Slot {
+    alignas(std::max_align_t) unsigned char buf[kInlineBytes];
+    void (*invoke)(Slot&) = nullptr;
+    void (*destroy)(Slot&) = nullptr;
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNoSlot;
+    SlotState state = SlotState::kFree;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static Fn& ref(Slot& s) noexcept {
+      return *std::launder(reinterpret_cast<Fn*>(s.buf));
     }
+    static void invoke(Slot& s) { ref(s)(); }
+    static void destroy(Slot& s) { ref(s).~Fn(); }
   };
+
+  template <typename Fn>
+  struct BoxedOps {
+    static Fn* ptr(Slot& s) noexcept {
+      return *std::launder(reinterpret_cast<Fn**>(s.buf));
+    }
+    static void invoke(Slot& s) { (*ptr(s))(); }
+    static void destroy(Slot& s) { delete ptr(s); }
+  };
+
+  [[nodiscard]] Slot& slot_at(std::uint32_t index) noexcept {
+    return chunks_[index / kChunkSlots][index % kChunkSlots];
+  }
+  [[nodiscard]] const Slot& slot_at(std::uint32_t index) const noexcept {
+    return chunks_[index / kChunkSlots][index % kChunkSlots];
+  }
+
+  /// Type-erases `cb` into a pooled slot; returns the EventId value
+  /// ((slot index << 32) | generation, never 0 since generations start at 1).
+  template <typename F>
+  std::uint64_t store(F&& cb, std::uint64_t seq) {
+    using Fn = std::decay_t<F>;
+    const std::uint32_t index = acquire_slot();
+    Slot& s = slot_at(index);
+    constexpr bool fits_inline =
+        sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t);
+    try {
+      if constexpr (fits_inline) {
+        ::new (static_cast<void*>(s.buf)) Fn(std::forward<F>(cb));
+        s.invoke = &InlineOps<Fn>::invoke;
+        s.destroy = &InlineOps<Fn>::destroy;
+      } else {
+        Fn* boxed = new Fn(std::forward<F>(cb));
+        ::new (static_cast<void*>(s.buf)) Fn*(boxed);
+        s.invoke = &BoxedOps<Fn>::invoke;
+        s.destroy = &BoxedOps<Fn>::destroy;
+      }
+    } catch (...) {
+      recycle_slot(index);  // nothing constructed; just rejoin the free list
+      throw;
+    }
+    s.seq = seq;
+    s.state = SlotState::kLive;
+    ++live_count_;
+    return (static_cast<std::uint64_t>(index) << 32) | s.gen;
+  }
+
+  [[nodiscard]] std::uint32_t acquire_slot();
+  /// Returns a slot (already destroyed / never constructed) to the free
+  /// list, bumping its generation so outstanding ids go stale.
+  void recycle_slot(std::uint32_t index) noexcept;
+  /// Popped-handle release: destroys the callable, then recycles.
+  void release_popped(std::uint32_t index) noexcept;
+
+  [[nodiscard]] bool is_live(std::uint64_t key) const noexcept;
+
+  /// Recycles the parked slot behind a dead pooled heap entry being
+  /// discarded (no-op in legacy mode).
+  void drop_dead_key(std::uint64_t key) noexcept;
 
   /// Discards cancelled entries from the top of the heap.
   void skim();
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
-  std::unordered_map<std::uint64_t, Callback> live_;
+  /// Rebuilds the heap without its dead entries once they outnumber the
+  /// live ones (the cancel/reschedule-churn bound).
+  void maybe_compact() noexcept;
+
+  bool legacy_ = false;
+  // 4-ary min-heap under pops_later, structure-of-arrays: entry i is
+  // (heap_times_[i], heap_keys_[i]); the two vectors move in lockstep.
+  std::vector<SimTime> heap_times_;
+  std::vector<std::uint64_t> heap_keys_;
   std::uint64_t next_seq_ = 1;
+  std::size_t dead_in_heap_ = 0;
+
+  // Pooled mode.
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_count_ = 0;
+
+  // Legacy mode.
+  std::unordered_map<std::uint64_t, Callback> live_map_;
 };
 
 }  // namespace sensrep::sim

@@ -1,38 +1,6 @@
 #include "sim/simulator.hpp"
 
-#include <stdexcept>
-#include <utility>
-
 namespace sensrep::sim {
-
-EventId Simulator::at(SimTime t, Callback cb) {
-  if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
-  return queue_.schedule(t, std::move(cb));
-}
-
-EventId Simulator::in(Duration delay, Callback cb) {
-  if (delay < 0.0) throw std::invalid_argument("Simulator::in: negative delay");
-  return queue_.schedule(now_ + delay, std::move(cb));
-}
-
-EventId Simulator::every(Duration period, std::function<void()> cb) {
-  if (period <= 0.0) throw std::invalid_argument("Simulator::every: period must be positive");
-  auto state = std::make_shared<PeriodicState>();
-  auto body = std::make_shared<std::function<void()>>(std::move(cb));
-
-  // Self re-arming wrapper. `arm` owns itself through the capture, living as
-  // long as an occurrence is pending; cancellation drops the last reference.
-  auto arm = std::make_shared<std::function<void()>>();
-  *arm = [this, state, body, period, arm] {
-    (*body)();
-    if (state->cancelled) return;  // cancel() ran inside the callback
-    state->current = queue_.schedule(now_ + period, [arm] { (*arm)(); });
-  };
-  state->current = queue_.schedule(now_ + period, [arm] { (*arm)(); });
-  const EventId head = state->current;
-  periodic_.emplace(head.value, state);
-  return head;
-}
 
 bool Simulator::cancel(EventId id) noexcept {
   if (auto it = periodic_.find(id.value); it != periodic_.end()) {

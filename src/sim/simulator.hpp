@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -16,6 +19,10 @@ namespace sensrep::sim {
 /// work through this class; none keeps its own notion of time. The engine is
 /// single-threaded by design — wireless protocol simulations are dominated by
 /// tiny events, and determinism is worth more here than parallelism.
+///
+/// at/in/every accept any callable and forward it to the queue unboxed, so
+/// captures that fit EventQueue::kInlineBytes are stored in pooled slots
+/// without touching the heap.
 class Simulator {
  public:
   using Callback = EventQueue::Callback;
@@ -27,17 +34,48 @@ class Simulator {
   /// Current simulation time (seconds).
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
+  /// Pre-run switch to the legacy event-queue storage strategy (differential
+  /// testing, and the --legacy-hot-path escape hatch). Throws std::logic_error
+  /// once anything has been scheduled.
+  void use_legacy_queue(bool legacy) { queue_.set_legacy(legacy); }
+  [[nodiscard]] bool legacy_queue() const noexcept { return queue_.legacy(); }
+
   /// Schedules `cb` at absolute time `t`. Requires t >= now().
-  EventId at(SimTime t, Callback cb);
+  template <typename F>
+  EventId at(SimTime t, F&& cb) {
+    if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
+    return queue_.schedule(t, std::forward<F>(cb));
+  }
 
   /// Schedules `cb` after a delay. Requires delay >= 0.
-  EventId in(Duration delay, Callback cb);
+  template <typename F>
+  EventId in(Duration delay, F&& cb) {
+    if (delay < 0.0) throw std::invalid_argument("Simulator::in: negative delay");
+    return queue_.schedule(now_ + delay, std::forward<F>(cb));
+  }
 
   /// Schedules `cb` every `period` seconds starting at now()+period, until
   /// the returned id is cancelled. Requires period > 0. The id returned
   /// identifies the whole series: cancelling it stops all future occurrences,
   /// including when called from inside the callback itself.
-  EventId every(Duration period, std::function<void()> cb);
+  template <typename F>
+  EventId every(Duration period, F cb) {
+    if (period <= 0.0) throw std::invalid_argument("Simulator::every: period must be positive");
+    // The series owns itself through the Rearm capture, living as long as an
+    // occurrence is pending; cancellation drops the last reference.
+    struct Series {
+      Simulator* sim;
+      Duration period;
+      std::shared_ptr<PeriodicState> state;
+      std::decay_t<F> body;
+    };
+    auto series = std::make_shared<Series>(
+        Series{this, period, std::make_shared<PeriodicState>(), std::move(cb)});
+    series->state->current = queue_.schedule(now_ + period, Rearm<Series>{series});
+    const EventId head = series->state->current;
+    periodic_.emplace(head.value, series->state);
+    return head;
+  }
 
   /// Cancels a pending one-shot event or a periodic series.
   bool cancel(EventId id) noexcept;
@@ -82,6 +120,20 @@ class Simulator {
   struct PeriodicState {
     EventId current;        // id of the currently-armed occurrence
     bool cancelled = false; // set by cancel(); stops re-arming
+  };
+
+  /// One armed occurrence of an every() series: runs the body, then schedules
+  /// the next occurrence. A single shared_ptr capture, so it always stores
+  /// inline in the pooled queue.
+  template <typename Series>
+  struct Rearm {
+    std::shared_ptr<Series> series;
+    void operator()() const {
+      series->body();
+      if (series->state->cancelled) return;  // cancel() ran inside the callback
+      series->state->current = series->sim->queue_.schedule(
+          series->sim->now_ + series->period, Rearm{series});
+    }
   };
 
   EventQueue queue_;

@@ -45,6 +45,8 @@ void SensorField::deploy(const std::vector<Vec2>& positions) {
                     [n](const Packet& pkt, NodeId from) { n->on_packet(pkt, from); });
   }
   open_failure_.assign(slots_.size(), std::nullopt);
+  alive_soa_.assign(slots_.size(), 1);
+  last_beacon_soa_.assign(slots_.size(), 0.0);
 
   // Static sensor-sensor adjacency: sensors never move and replacements land
   // on the same coordinates, so this graph is computed once. Both index
@@ -160,7 +162,14 @@ const std::vector<routing::NeighborEntry>& SensorField::static_neighbors(NodeId 
 
 sim::SimTime SensorField::last_beacon(NodeId id) const {
   if (!is_sensor(id)) return sim::kNever;
+  if (config_.data_oriented) return last_beacon_soa_[id];
   return slots_[id]->last_beacon();
+}
+
+bool SensorField::slot_alive(NodeId id) const {
+  if (!is_sensor(id)) return false;
+  if (config_.data_oriented) return alive_soa_[id] != 0;
+  return slots_[id]->alive();
 }
 
 void SensorField::fail_slot(NodeId slot) {
@@ -168,6 +177,7 @@ void SensorField::fail_slot(NodeId slot) {
   if (!n.alive()) return;
   const sim::SimTime now = sim_->now();
   n.fail();
+  alive_soa_[slot] = 0;
   medium_->set_alive(slot, false);
   open_failure_[slot] = log_->open(slot, now);
   if (hooks_.on_failure) hooks_.on_failure(slot, now);
@@ -207,6 +217,7 @@ void SensorField::replace_slot(NodeId slot, NodeId robot) {
   }
   const sim::SimTime now = sim_->now();
   n.revive();
+  alive_soa_[slot] = 1;
   medium_->set_alive(slot, true);
 
   // The new unit announces itself so neighbors restore their table entries
@@ -288,6 +299,12 @@ void SensorField::note_unreported(NodeId slot) {
 }
 
 std::size_t SensorField::alive_count() const noexcept {
+  if (config_.data_oriented) {
+    // Batched pass over the flat alive bits — one cache line covers 64 slots.
+    std::size_t n = 0;
+    for (const std::uint8_t a : alive_soa_) n += a;
+    return n;
+  }
   std::size_t n = 0;
   for (const auto& s : slots_) n += s->alive() ? 1 : 0;
   return n;

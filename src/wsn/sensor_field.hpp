@@ -71,6 +71,14 @@ struct FieldConfig {
   /// speed; CI diffs the golden CSVs both ways to keep it that way.
   bool spatial_index = true;
 
+  /// Data-oriented hot loop: the simulator's pooled event-queue storage plus
+  /// flat struct-of-arrays mirrors of the per-tick-scanned slot state (alive
+  /// bits, last-beacon stamps) so beacon-staleness and liveness sweeps read
+  /// contiguous vectors instead of chasing per-node pointers. Pure layout
+  /// change — the legacy path is preserved behind --legacy-hot-path, and CI
+  /// proves both produce byte-identical results (see tests/hot_path_test.cpp).
+  bool data_oriented = true;
+
   /// Extension beyond the paper: every sensor watches *all* of its static
   /// neighbors, not just its confirmed guardees. The paper's guardian-guardee
   /// scheme assumes a guardian and its guardee rarely die together — true
@@ -139,7 +147,13 @@ class SensorField {
       net::NodeId id) const;
 
   /// Timestamp of the node's most recent beacon; kNever for non-sensors.
+  /// data_oriented mode reads the flat mirror (no SensorNode dereference) —
+  /// this is the per-neighbor read inside every staleness check.
   [[nodiscard]] sim::SimTime last_beacon(net::NodeId id) const;
+
+  /// Whether the slot's unit is alive; false for non-sensors. data_oriented
+  /// mode reads the flat alive-bit mirror.
+  [[nodiscard]] bool slot_alive(net::NodeId id) const;
 
   /// Beacon-staleness window: stale_beacon_count * beacon_period.
   [[nodiscard]] double staleness_window() const noexcept {
@@ -201,7 +215,19 @@ class SensorField {
   sim::Rng rng_;
   Hooks hooks_;
 
+  /// SensorNode beacon hook: keeps the flat last-beacon mirror in sync with
+  /// the node's own stamp (called from tick() and revive()).
+  void note_beacon(net::NodeId slot, sim::SimTime when) noexcept {
+    if (slot < last_beacon_soa_.size()) last_beacon_soa_[slot] = when;
+  }
+
   std::vector<std::unique_ptr<SensorNode>> slots_;
+  /// data_oriented: struct-of-arrays mirrors of per-slot hot state, indexed
+  /// by slot id (ids are dense). Maintained unconditionally (writes are
+  /// cheap); only the *reads* are gated on FieldConfig::data_oriented so the
+  /// legacy path stays byte-for-byte what it was.
+  std::vector<std::uint8_t> alive_soa_;
+  std::vector<sim::SimTime> last_beacon_soa_;
   /// Sensor positions bucketed at TX-range granularity (spatial_index mode).
   /// Built once in deploy(): slots never move, replacements keep coordinates.
   std::optional<spatial::UniformGrid2D<net::NodeId>> grid_;

@@ -49,12 +49,28 @@ void SensorNode::remove_guardee(NodeId id) {
   guardees_.erase(std::remove(guardees_.begin(), guardees_.end(), id), guardees_.end());
 }
 
+namespace {
+
+/// First entry with id >= robot (the table is sorted by id).
+template <typename Vec>
+auto robot_lower_bound(Vec& v, NodeId robot) {
+  return std::lower_bound(v.begin(), v.end(), robot,
+                          [](const KnownRobot& e, NodeId id) { return e.id < id; });
+}
+
+}  // namespace
+
 bool SensorNode::learn_robot(NodeId robot, Vec2 loc, std::uint32_t seq) {
-  auto it = known_robots_.find(robot);
-  const bool fresh = it == known_robots_.end() || seq > it->second.seq;
+  auto it = robot_lower_bound(known_robots_, robot);
+  const bool known = it != known_robots_.end() && it->id == robot;
+  const bool fresh = !known || seq > it->info.seq;
   if (fresh) {
     const auto now = field_->simulator().now();
-    known_robots_[robot] = RobotKnowledge{loc, seq, now};
+    if (known) {
+      it->info = RobotKnowledge{loc, seq, now};
+    } else {
+      known_robots_.insert(it, KnownRobot{robot, RobotKnowledge{loc, seq, now}});
+    }
     robots_heard_floor_ = std::min(robots_heard_floor_, now);
     // Keep the routing table's robot entry in sync: the robot is a usable
     // next hop only while inside this sensor's own transmission range.
@@ -68,18 +84,20 @@ bool SensorNode::learn_robot(NodeId robot, Vec2 loc, std::uint32_t seq) {
 }
 
 const RobotKnowledge* SensorNode::find_robot(NodeId robot) const {
-  auto it = known_robots_.find(robot);
-  return it == known_robots_.end() ? nullptr : &it->second;
+  auto it = robot_lower_bound(known_robots_, robot);
+  return it != known_robots_.end() && it->id == robot ? &it->info : nullptr;
 }
 
 std::optional<NodeId> SensorNode::closest_known_robot() const {
+  // Ascending-id scan: on a distance tie the lowest id wins, exactly the
+  // comparator the unordered predecessor implemented order-independently.
   std::optional<NodeId> best;
   double best_d2 = std::numeric_limits<double>::infinity();
-  for (const auto& [robot, knowledge] : known_robots_) {
-    const double d2 = geometry::distance2(pos_, knowledge.location);
-    if (d2 < best_d2 || (d2 == best_d2 && best && robot < *best)) {
+  for (const KnownRobot& kr : known_robots_) {
+    const double d2 = geometry::distance2(pos_, kr.info.location);
+    if (d2 < best_d2) {
       best_d2 = d2;
-      best = robot;
+      best = kr.id;
     }
   }
   return best;
@@ -125,6 +143,7 @@ void SensorNode::revive() {
   alive_ = true;
   ++incarnation_;
   last_beacon_ = field_->simulator().now();  // powers on beaconing immediately
+  field_->note_beacon(id_, last_beacon_);
 }
 
 bool SensorNode::neighbor_is_stale(NodeId id) const {
@@ -188,6 +207,7 @@ void SensorNode::tick() {
     field_->medium().account(metrics::MessageCategory::kBeacon);
   }
   last_beacon_ = field_->simulator().now();
+  field_->note_beacon(id_, last_beacon_);
 
   // Honest mode: staleness also evicts silent neighbors from the routing
   // table locally (analytic mode schedules this at the field level).
@@ -250,19 +270,22 @@ void SensorNode::age_robot_knowledge() {
   if (field_->config().spatial_index && robots_heard_floor_ + window >= now) return;
   bool dropped_myrobot = false;
   sim::SimTime floor = sim::kNever;
-  for (auto it = known_robots_.begin(); it != known_robots_.end();) {
-    if (it->second.heard_at + window < now) {
-      if (it->first == myrobot_) {
+  // In-place compaction over the flat table: one contiguous pass, keeping
+  // survivors in id order.
+  std::size_t keep = 0;
+  for (KnownRobot& kr : known_robots_) {
+    if (kr.info.heard_at + window < now) {
+      if (kr.id == myrobot_) {
         myrobot_ = kNoNode;
         dropped_myrobot = true;
       }
-      table_.remove(it->first);
-      it = known_robots_.erase(it);
+      table_.remove(kr.id);
     } else {
-      floor = std::min(floor, it->second.heard_at);
-      ++it;
+      floor = std::min(floor, kr.info.heard_at);
+      known_robots_[keep++] = kr;
     }
   }
+  known_robots_.resize(keep);
   robots_heard_floor_ = floor;
   // Re-pick among the robots still believed alive (the dynamic algorithm's
   // "re-report to the next-closest robot" behavior; harmless elsewhere).
@@ -358,7 +381,7 @@ void SensorNode::rebuild_neighbor_table() {
   // collecting those beacons yields exactly this table (substitution 3).
   table_.clear();
   for (const auto& e : field_->static_neighbors(id_)) {
-    if (field_->node(e.id).alive()) {
+    if (field_->slot_alive(e.id)) {
       table_.upsert(e.id, e.pos);
       // Honest mode: a full beacon period has elapsed, so every alive
       // neighbor has been heard once by now.

@@ -25,6 +25,14 @@ struct RobotKnowledge {
   sim::SimTime heard_at = 0.0;  // when fresh knowledge last arrived (aging)
 };
 
+/// One entry of a sensor's robot-knowledge table. Stored as a flat vector
+/// sorted by id: robot counts are tiny (4..1k), so binary search + contiguous
+/// scans beat hashing, and the aging sweep walks one cache-friendly run.
+struct KnownRobot {
+  net::NodeId id = net::kNoNode;
+  RobotKnowledge info;
+};
+
 /// One sensor slot: a deployed position that is occupied by a (possibly
 /// replaced) sensor unit. The node id names the slot; replacement units keep
 /// the id and bump `incarnation` (paper §2(d): replacements land at the same
@@ -143,7 +151,7 @@ class SensorNode {
   std::vector<net::NodeId> guardees_;
 
   net::NodeId myrobot_ = net::kNoNode;
-  std::unordered_map<net::NodeId, RobotKnowledge> known_robots_;
+  std::vector<KnownRobot> known_robots_;  // sorted by robot id
   // Lower bound on min(heard_at) over known_robots_ (+inf when empty).
   // Entries only get fresher between scans, so while floor + window >= now
   // nothing can have expired and age_robot_knowledge() may skip its scan

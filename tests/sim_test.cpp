@@ -75,6 +75,77 @@ TEST(EventQueueTest, RejectsInvalidTimeAndNullCallback) {
   EXPECT_THROW(q.schedule(1.0, EventQueue::Callback{}), std::invalid_argument);
 }
 
+// Regression: cancel() used to leave its HeapEntry behind forever, so a
+// workload that perpetually reschedules (cancel + schedule, like lease
+// supervision re-arming) grew the heap without bound. The queue must now
+// compact once dead entries outnumber live ones.
+TEST(EventQueueTest, HeapStaysBoundedUnderCancelRescheduleChurn) {
+  EventQueue q;
+  const EventId keep = q.schedule(1e9, [] {});  // one long-lived anchor event
+  EventId current = q.schedule(1.0, [] {});
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(q.cancel(current));
+    current = q.schedule(2.0 + i, [] {});
+  }
+  EXPECT_EQ(q.size(), 2u);
+  // 2 live events; anything O(live) is fine, 100k dead entries is the bug.
+  EXPECT_LE(q.heap_size(), 64u);
+  EXPECT_TRUE(q.cancel(keep));
+  EXPECT_TRUE(q.cancel(current));
+  EXPECT_TRUE(q.empty());
+}
+
+// Audit: next_time()/empty() must agree after any interleaving of cancel and
+// pop, including cancelling the current top-of-heap.
+TEST(EventQueueTest, CancelOfTopKeepsNextTimeConsistent) {
+  EventQueue q;
+  const EventId top = q.schedule(1.0, [] {});
+  q.schedule(3.0, [] {});
+  const EventId mid = q.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  EXPECT_TRUE(q.cancel(top));       // dead entry is now the heap top
+  EXPECT_FALSE(q.empty());
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  EXPECT_TRUE(q.cancel(mid));       // next-in-line dies too
+  EXPECT_FALSE(q.empty());
+  EXPECT_DOUBLE_EQ(q.next_time(), 3.0);
+  auto ev = q.pop();
+  EXPECT_DOUBLE_EQ(ev.time, 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, InterleavedCancelPopNeverDesyncs) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(q.schedule(static_cast<double>(i), [] {}));
+  }
+  // Cancel every even event, then alternate pop / cancel-ahead.
+  for (std::size_t i = 0; i < ids.size(); i += 2) EXPECT_TRUE(q.cancel(ids[i]));
+  double last = -1.0;
+  while (!q.empty()) {
+    const double next = q.next_time();
+    auto ev = q.pop();
+    EXPECT_DOUBLE_EQ(ev.time, next);  // next_time() promised this pop
+    EXPECT_GT(ev.time, last);
+    last = ev.time;
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+// EventIds stay unique across slot reuse: a stale id from a popped event
+// must not cancel the event that recycled its slot.
+TEST(EventQueueTest, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  const EventId first = q.schedule(1.0, [] {});
+  q.pop().callback();
+  bool ran = false;
+  q.schedule(2.0, [&] { ran = true; });  // very likely reuses first's slot
+  EXPECT_FALSE(q.cancel(first));
+  q.pop().callback();
+  EXPECT_TRUE(ran);
+}
+
 // --- Simulator -----------------------------------------------------------------
 
 TEST(SimulatorTest, ClockAdvancesToEventTimes) {

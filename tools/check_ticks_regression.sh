@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# E19 end-to-end throughput regression guard.
+#
+# Runs the BM_EndToEndTicks section of kernel_throughput at 100k sensors in
+# both hot-path modes (data_oriented=1 pooled, =0 legacy), computes the
+# pooled/legacy ticks-per-second ratio from the repetition medians, and fails
+# if it regressed more than the tolerance below the committed baseline ratio
+# (bench/baselines/ticks_100k.txt). The ratio is used instead of absolute
+# ticks/sec because CI runner hardware varies run to run; both modes execute
+# the identical event stream in the same process, so their ratio isolates the
+# hot-path restructuring from the machine.
+#
+# Usage: check_ticks_regression.sh [--bench PATH] [--baseline PATH]
+#                                  [--out CSV] [--tolerance PCT]
+set -euo pipefail
+
+bench=build/bench/kernel_throughput
+baseline=bench/baselines/ticks_100k.txt
+out=ticks_100k.csv
+tolerance=15
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bench) bench=$2; shift 2 ;;
+    --baseline) baseline=$2; shift 2 ;;
+    --out) out=$2; shift 2 ;;
+    --tolerance) tolerance=$2; shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+[[ -x $bench ]] || { echo "benchmark binary not found: $bench" >&2; exit 2; }
+[[ -r $baseline ]] || { echo "baseline file not found: $baseline" >&2; exit 2; }
+
+baseline_ratio=$(sed -n 's/^baseline_ratio=//p' "$baseline")
+[[ -n $baseline_ratio ]] || { echo "no baseline_ratio in $baseline" >&2; exit 2; }
+
+"$bench" --benchmark_filter='BM_EndToEndTicks/100000/' \
+  --benchmark_min_time=0.01 --benchmark_repetitions=3 \
+  --benchmark_format=csv > "$out"
+
+# google-benchmark CSV: name,iterations,real_time,cpu_time,time_unit,...,
+# items_per_second,... — items_per_second (column 7) is executed events per
+# second of sim.run() wall time, i.e. ticks/sec.
+legacy=$(awk -F, '/BM_EndToEndTicks\/100000\/0\/.*_median/ {gsub(/"/,""); print $7}' "$out")
+pooled=$(awk -F, '/BM_EndToEndTicks\/100000\/1\/.*_median/ {gsub(/"/,""); print $7}' "$out")
+[[ -n $legacy && -n $pooled ]] || { echo "could not parse medians from $out" >&2; exit 2; }
+
+awk -v p="$pooled" -v l="$legacy" -v base="$baseline_ratio" -v tol="$tolerance" 'BEGIN {
+  ratio = p / l
+  floor = base * (1 - tol / 100)
+  printf "ticks/sec at 100k sensors: pooled %.0f, legacy %.0f, ratio %.3f\n", p, l, ratio
+  printf "committed baseline ratio %.3f, tolerance %d%% => floor %.3f\n", base, tol, floor
+  if (ratio < floor) {
+    printf "FAIL: hot-path throughput ratio regressed more than %d%%\n", tol
+    exit 1
+  }
+  print "OK: within tolerance"
+}'

@@ -46,6 +46,11 @@
 //   --no-spatial-index  disable the uniform-grid spatial index and use the
 //                       brute-force scans (results are byte-identical; this
 //                       flag exists for the equivalence CI job and benchmarks)
+//   --legacy-hot-path   disable the data-oriented hot loop: map-backed event
+//                       queue storage and per-node pointer-chasing sweeps
+//                       instead of the pooled queue + flat SoA mirrors
+//                       (results are byte-identical; equivalence CI job and
+//                       the E19 before/after benchmarks)
 //   --csv=PATH          append one result row per run to a CSV file
 //   --trace=PATH        write the failure-lifecycle event log as JSON lines
 //   --trace-out=PATH    write repair-lifecycle spans as Chrome trace_event
@@ -56,6 +61,9 @@
 //                       failures periodically and write them as a wide CSV
 //   --profile           profile hot paths (event queue, routing, supervision)
 //                       and print a wall-clock report; sim results unchanged
+//   --profile-csv=PATH  like --profile, but also write the per-probe counters
+//                       as CSV (probe,calls,total_ns) — the CI regression
+//                       artifacts
 //   --log-level=off|debug|info|warn|error   global logger threshold
 //                       (default warn)
 //   --histogram         print an ASCII histogram of repair latencies
@@ -235,6 +243,7 @@ int main(int argc, char** argv) {
     cfg.idle_reposition = args.has("idle-reposition");
     cfg.radio.model_collisions = args.has("collisions");
     cfg.field.spatial_index = !args.has("no-spatial-index");
+    cfg.field.data_oriented = !args.has("legacy-hot-path");
 
     const double inf = std::numeric_limits<double>::infinity();
     auto& faults = cfg.robot_faults;
@@ -289,7 +298,8 @@ int main(int argc, char** argv) {
     const auto trace_jsonl = args.get_string("trace-jsonl", "");
     const auto stage_csv = args.get_string("stage-csv", "");
     const auto timeseries_path = args.get_string("timeseries-out", "");
-    const bool profile = args.has("profile");
+    const auto profile_csv = args.get_string("profile-csv", "");
+    const bool profile = args.has("profile") || !profile_csv.empty();
     const bool histogram = args.has("histogram");
     const bool quiet = args.has("quiet");
     const bool check_invariants = args.has("check-invariants");
@@ -336,6 +346,14 @@ int main(int argc, char** argv) {
       if (profile) {
         obs::Profiler::enable(false);
         std::cout << obs::Profiler::report();
+        if (!profile_csv.empty()) {
+          std::ofstream out(profile_csv);
+          out << obs::Profiler::report_csv();
+          if (!out) {
+            std::cerr << "sensrep_cli: failed to write " << profile_csv << "\n";
+            return 2;
+          }
+        }
       }
       return 0;
     }
@@ -488,6 +506,14 @@ int main(int argc, char** argv) {
     if (profile) {
       obs::Profiler::enable(false);
       std::cout << obs::Profiler::report();
+      if (!profile_csv.empty()) {
+        std::ofstream out(profile_csv);
+        out << obs::Profiler::report_csv();
+        if (!out) {
+          std::cerr << "sensrep_cli: failed to write " << profile_csv << "\n";
+          return 2;
+        }
+      }
     }
     if (checker) {
       if (!quiet) {
