@@ -17,6 +17,8 @@
 #include "geometry/spatial_hash.hpp"
 #include "metrics/counters.hpp"
 #include "net/medium.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "spatial/uniform_grid.hpp"
@@ -271,6 +273,55 @@ void BM_EndToEndTicks(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndTicks)
     ->ArgsProduct({{10000, 100000, 1000000}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --- metrics-plane overhead ablation (E20) -----------------------------------
+//
+// The same end-to-end run as BM_EndToEndTicks (pooled hot path), with the
+// observability plane in its three states: 0 = registry disabled (the
+// default), 1 = registry enabled, 2 = registry + flight recorder. Every
+// instrumentation site is compiled in unconditionally — disabled mode pays
+// exactly one relaxed load per site — so the /0 vs /1 vs /2 spread IS the
+// runtime cost of the plane. tools/check_metrics_overhead.sh feeds the
+// repetition medians through a <3% guard. Deliberately a separate benchmark:
+// check_ticks_regression.sh greps BM_EndToEndTicks and must keep seeing the
+// registry-off numbers it has always seen.
+
+void BM_MetricsOverhead(benchmark::State& state) {
+  const auto sensors = static_cast<std::size_t>(state.range(0));
+  const auto mode = static_cast<int>(state.range(1));
+  sensrep::core::SimulationConfig cfg;
+  cfg.algorithm = sensrep::core::Algorithm::kFixedDistributed;
+  cfg.robots = sensors / 50;
+  cfg.seed = 2026;
+  cfg.sim_duration = sensors >= 1000000 ? 20.0 : sensors >= 100000 ? 100.0 : 400.0;
+  cfg.field.data_oriented = true;
+  sensrep::obs::Metrics::reset();
+  sensrep::obs::Metrics::enable(mode >= 1);
+  if (mode >= 2) {
+    sensrep::obs::FlightRecorder::enable();
+    sensrep::obs::FlightRecorder::reset();
+  } else {
+    sensrep::obs::FlightRecorder::disable();
+  }
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sensrep::core::Simulation sim(cfg);
+    const auto start = std::chrono::steady_clock::now();
+    sim.run();
+    const auto stop = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(stop - start).count());
+    events += sim.simulator().executed();
+  }
+  benchmark::DoNotOptimize(events);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  sensrep::obs::Metrics::enable(false);
+  sensrep::obs::Metrics::reset();
+  sensrep::obs::FlightRecorder::disable();
+}
+BENCHMARK(BM_MetricsOverhead)
+    ->ArgsProduct({{100000}, {0, 1, 2}})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -29,6 +29,12 @@ struct InvariantCheckerOptions {
   /// heartbeat period when faults are on (the supervise cadence), else
   /// sim_duration / 20.
   double period_s = 0.0;
+
+  /// When non-empty and the flight recorder is enabled, every violation
+  /// dumps the ring to this JSONL path (last violation wins), so the tail
+  /// of the dump is the history leading straight into the breach. The dump
+  /// happens before fail_fast throws.
+  std::string flightrec_dump;
 };
 
 /// Runtime oracle validating the repair protocols' safety bookkeeping while

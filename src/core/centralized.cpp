@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
 #include "trace/log.hpp"
 
 namespace sensrep::core {
@@ -353,6 +355,10 @@ void CentralizedAlgorithm::apply_handback() {
   acting_manager_.reset();
   ++fault_stats_.handbacks;
   ++fault_stats_.ownership_transfers;
+  obs::Metrics::inc(obs::Counter::kHandbacks);
+  obs::Metrics::inc(obs::Counter::kOwnershipTransfers);
+  obs::FlightRecorder::note(ctx().simulator->now(), obs::FlightKind::kHandback,
+                            manager_->id(), former);
   manager_pos_ = manager_->position();
   manager_lease_ = ctx().simulator->now();
   trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
@@ -477,6 +483,12 @@ void CentralizedAlgorithm::perform_failover() {
   acting_manager_ = winner;
   ++fault_stats_.failovers;
   ++fault_stats_.elections;
+  obs::Metrics::inc(obs::Counter::kFailovers);
+  obs::Metrics::inc(obs::Counter::kElections);
+  obs::FlightRecorder::note(ctx().simulator->now(), obs::FlightKind::kElection,
+                            robot_at(*winner).id());
+  obs::FlightRecorder::note(ctx().simulator->now(), obs::FlightKind::kFailover,
+                            robot_at(*winner).id());
   auto& am = robot_at(*winner);
   manager_pos_ = am.position();
   manager_lease_ = ctx().simulator->now();
@@ -537,6 +549,10 @@ void CentralizedAlgorithm::on_robot_presumed_dead(std::size_t index) {
     in_flight_.erase(fid);
     if (ctx().field->node(entry.slot).alive()) continue;
     ++fault_stats_.redispatches;
+    obs::Metrics::inc(obs::Counter::kRedispatches);
+    obs::FlightRecorder::note(ctx().simulator->now(),
+                              obs::FlightKind::kRedispatch, entry.slot,
+                              robot_at(index).id());
     trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
                                  "re-dispatching repair of %u (was in flight at robot %u)",
                                  entry.slot, robot_at(index).id());

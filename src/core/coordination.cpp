@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "geometry/voronoi.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
 #include "obs/profiler.hpp"
 #include "trace/log.hpp"
 
@@ -21,14 +23,19 @@ bool CoordinationAlgorithm::record_report_arrival(const Packet& pkt) {
   // Duplication dedup: seq 0 is an untagged (hand-crafted test) report and is
   // always fresh; every real report is stamped with a per-sensor sequence.
   if (pkt.seq != 0 && !seen_reports_.insert({pkt.src, pkt.seq}).second) {
+    obs::Metrics::inc(obs::Counter::kReportsDeduped);
     return false;
   }
+  obs::Metrics::inc(obs::Counter::kReportsArrived);
   const auto& body = std::get<net::FailureReportPayload>(pkt.payload);
   if (body.failure_id == 0) return true;
   auto& rec = ctx_.log->at(body.failure_id - 1);
   if (!sim::is_valid_time(rec.reported_at)) {
     rec.reported_at = ctx_.simulator->now();
     rec.report_hops = pkt.hops;
+    obs::FlightRecorder::note(ctx_.simulator->now(),
+                              obs::FlightKind::kReportArrival, body.failed_node,
+                              pkt.src);
     if (event_log_) {
       event_log_->record({ctx_.simulator->now(), trace::EventKind::kReport,
                           body.failed_node, pkt.src, body.failed_location,
@@ -59,6 +66,11 @@ void CoordinationAlgorithm::acknowledge_report(routing::GeoRouter& router,
 void CoordinationAlgorithm::dispatch_to(robot::RobotNode& robot,
                                         const robot::RepairTask& task) {
   robot.enqueue(task);
+  obs::Metrics::inc(obs::Counter::kDispatches);
+  obs::Metrics::observe(obs::Hist::kDispatchDistance,
+                        geometry::distance(robot.position(), task.location));
+  obs::FlightRecorder::note(ctx_.simulator->now(), obs::FlightKind::kDispatch,
+                            task.slot, robot.id());
   if (event_log_) {
     event_log_->record({ctx_.simulator->now(), trace::EventKind::kDispatch, task.slot,
                         robot.id(), task.location,
@@ -124,6 +136,11 @@ void CoordinationAlgorithm::on_robot_failed(robot::RobotNode& robot,
                                             std::size_t tasks_lost) {
   ++fault_stats_.robot_failures;
   fault_stats_.tasks_lost += tasks_lost;
+  obs::Metrics::inc(obs::Counter::kRobotFailures);
+  obs::Metrics::inc(obs::Counter::kTasksLost, tasks_lost);
+  obs::FlightRecorder::note(ctx_.simulator->now(), obs::FlightKind::kRobotCrash,
+                            robot.id(),
+                            static_cast<std::uint32_t>(tasks_lost));
   if (event_log_) {
     event_log_->record({ctx_.simulator->now(), trace::EventKind::kRobotFailure,
                         robot.id(), std::nullopt, robot.position(),
@@ -133,6 +150,9 @@ void CoordinationAlgorithm::on_robot_failed(robot::RobotNode& robot,
 
 void CoordinationAlgorithm::on_robot_repaired(robot::RobotNode& robot) {
   ++fault_stats_.robot_repairs;
+  obs::Metrics::inc(obs::Counter::kRobotRepairs);
+  obs::FlightRecorder::note(ctx_.simulator->now(),
+                            obs::FlightKind::kRobotRepair, robot.id());
   if (event_log_) {
     event_log_->record({ctx_.simulator->now(), trace::EventKind::kRobotRepair,
                         robot.id(), std::nullopt, robot.position(), std::nullopt});
@@ -281,6 +301,9 @@ void CoordinationAlgorithm::supervise() {
       continue;
     }
     presumed_dead_[i] = true;
+    obs::Metrics::inc(obs::Counter::kLeaseExpiries);
+    obs::FlightRecorder::note(now, obs::FlightKind::kLeaseExpiry,
+                              robot_at(i).id());
     // Clamped to >= 0: at the boundary sweep the raw difference is a
     // negative epsilon, which printed as "-0s ago" and broke trace greps.
     const double overdue = std::max(0.0, now - lease_[i] - window);

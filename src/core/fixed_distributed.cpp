@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
 #include "trace/log.hpp"
 
 namespace sensrep::core {
@@ -119,6 +121,10 @@ void FixedDistributedAlgorithm::on_robot_presumed_dead(std::size_t index) {
     owner_[cell] = *adopter;
     adopted.push_back(cell);
     ++fault_stats_.adoptions;
+    obs::Metrics::inc(obs::Counter::kAdoptions);
+    obs::FlightRecorder::note(ctx().simulator->now(), obs::FlightKind::kAdoption,
+                              static_cast<std::uint32_t>(cell),
+                              robot_at(*adopter).id());
   }
   if (adopted.empty()) return;  // its cells were already adopted earlier
   auto& am = robot_at(*adopter);
@@ -224,6 +230,9 @@ void FixedDistributedAlgorithm::apply_return(robot::RobotNode& robot, const Pack
   if (owner_[cell] == mine) return;  // duplicate offer (retry raced the ack)
   owner_[cell] = mine;
   ++fault_stats_.ownership_transfers;
+  obs::Metrics::inc(obs::Counter::kOwnershipTransfers);
+  obs::FlightRecorder::note(ctx().simulator->now(), obs::FlightKind::kHandback,
+                            robot.id(), static_cast<std::uint32_t>(cell));
   trace::Logger::global().logf(trace::Level::kInfo, ctx().simulator->now(), "fault",
                                "robot %u took subarea %zu back from robot %u",
                                robot.id(), cell, pkt.src);

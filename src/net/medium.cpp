@@ -9,6 +9,19 @@ namespace sensrep::net {
 
 using geometry::Vec2;
 
+// obs cannot see metrics::MessageCategory (sensrep_metrics links against
+// sensrep_obs, not the reverse), so its label table is a mirror. This TU sees
+// both headers: pin the sizes together; metrics_plane_test pins the names.
+static_assert(obs::kNetCategories ==
+                  static_cast<std::size_t>(metrics::MessageCategory::kCount),
+              "obs::kCategoryLabel must mirror metrics::MessageCategory");
+
+namespace {
+inline std::size_t cat_index(const Packet& pkt) noexcept {
+  return static_cast<std::size_t>(pkt.category());
+}
+}  // namespace
+
 void RadioConfig::validate() const {
   // Negated comparisons so NaN fails every test.
   if (!(bitrate_bps > 0.0) || !std::isfinite(bitrate_bps)) {
@@ -151,12 +164,14 @@ void Medium::deliver_later(NodeId to, Packet pkt, NodeId from, sim::Duration del
   sim_->in(delay, [this, to, pkt = std::move(pkt), from, corrupted] {
     if (corrupted && *corrupted) {
       ++collisions_;
+      obs::Metrics::inc(obs::Counter::kNetCollisions);
       return;
     }
     if (to >= nodes_.size()) return;
     const Transceiver& r = nodes_[to];
     if (!r.attached || !r.alive) return;  // detached or died in flight
     ++deliveries_;
+    obs::Metrics::net_rx(cat_index(pkt));
     if (r.rx) r.rx(pkt, from);
   });
 }
@@ -178,6 +193,7 @@ void Medium::deliver_chaotic(NodeId to, const Packet& pkt, NodeId from,
     // retransmission: it costs no counted transmission and lands late enough
     // to reorder against subsequent traffic.
     ++chaos_duplicates_;
+    obs::Metrics::inc(obs::Counter::kNetChaosDuplicates);
     deliver_later(to, pkt, from, jittered + chaos_->duplicate_delay(), collidable);
   }
 }
@@ -186,9 +202,11 @@ void Medium::broadcast(NodeId sender, Packet pkt) {
   const Transceiver& s = get(sender);
   assert(s.alive && "dead node cannot transmit");
   counters_->add(pkt.category());
+  obs::Metrics::net_tx(cat_index(pkt));
   if (jammed_now(sender, s)) {
     // A jammed sender still burns the transmission; nobody hears it.
     ++chaos_jams_;
+    obs::Metrics::inc(obs::Counter::kNetChaosJams);
     return;
   }
   const sim::Duration delay = frame_delay(pkt);
@@ -196,14 +214,19 @@ void Medium::broadcast(NodeId sender, Packet pkt) {
     if (id == sender) continue;
     const Transceiver& r = nodes_[id];
     if (!r.alive) continue;
-    if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) continue;
+    if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) {
+      obs::Metrics::inc(obs::Counter::kNetLossDrops);
+      continue;
+    }
     if (chaos_) {
       if (jammed_now(id, r)) {
         ++chaos_jams_;
+        obs::Metrics::inc(obs::Counter::kNetChaosJams);
         continue;
       }
       if (chaos_->burst_drop()) {
         ++chaos_drops_;
+        obs::Metrics::inc(obs::Counter::kNetChaosDrops);
         continue;
       }
     }
@@ -226,6 +249,7 @@ bool Medium::unicast(NodeId sender, NodeId target, Packet pkt) {
       (jammed_now(sender, s) || (t != nullptr && jammed_now(target, *t)))) {
     jammed = true;
     ++chaos_jams_;
+    obs::Metrics::inc(obs::Counter::kNetChaosJams);
   }
 
   // 802.11-style ARQ: each attempt is one counted transmission; the sender
@@ -234,10 +258,13 @@ bool Medium::unicast(NodeId sender, NodeId target, Packet pkt) {
   const int attempts = 1 + config_.unicast_retries;
   for (int a = 0; a < attempts; ++a) {
     counters_->add(pkt.category());
+    obs::Metrics::net_tx(cat_index(pkt));
     bool lost =
         config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability);
+    if (lost) obs::Metrics::inc(obs::Counter::kNetLossDrops);
     if (chaos_ && chaos_->burst_drop()) {  // advances the GE chain per attempt
       ++chaos_drops_;
+      obs::Metrics::inc(obs::Counter::kNetChaosDrops);
       lost = true;
     }
     if (reachable && !jammed && !lost) {

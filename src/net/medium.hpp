@@ -10,6 +10,7 @@
 #include "geometry/vec2.hpp"
 #include "metrics/counters.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics_registry.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
@@ -112,6 +113,7 @@ class Medium {
   /// delivered frames (beacons; see DESIGN.md substitution 3).
   void account(metrics::MessageCategory c, std::uint64_t n = 1) noexcept {
     counters_->add(c, n);
+    obs::Metrics::net_tx(static_cast<std::size_t>(c), n);
   }
 
   /// Total frames handed to receivers (diagnostics).

@@ -1,0 +1,354 @@
+#include "obs/exporters.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sensrep::obs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+/// %g keeps integral bucket edges terse ("30", not "30.000000") so the
+/// le label is stable across render sites.
+std::string edge_label(double edge) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", edge);
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheus_escape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricsSnapshot& s) {
+  std::string out;
+  out.reserve(4096);
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    const auto c = static_cast<Counter>(i);
+    appendf(out, "# HELP sensrep_%s_total %s\n",
+            std::string(to_string(c)).c_str(),
+            std::string(counter_help(c)).c_str());
+    appendf(out, "# TYPE sensrep_%s_total counter\n",
+            std::string(to_string(c)).c_str());
+    appendf(out, "sensrep_%s_total %llu\n", std::string(to_string(c)).c_str(),
+            static_cast<unsigned long long>(s.counters[i]));
+  }
+  for (int dir = 0; dir < 2; ++dir) {
+    const char* fam = dir == 0 ? "net_tx" : "net_rx";
+    appendf(out, "# HELP sensrep_%s_total Radio %s by message category\n", fam,
+            dir == 0 ? "transmissions" : "deliveries");
+    appendf(out, "# TYPE sensrep_%s_total counter\n", fam);
+    for (std::size_t i = 0; i < kNetCategories; ++i) {
+      appendf(out, "sensrep_%s_total{category=\"%s\"} %llu\n", fam,
+              prometheus_escape(kCategoryLabel[i]).c_str(),
+              static_cast<unsigned long long>(dir == 0 ? s.net_tx[i]
+                                                       : s.net_rx[i]));
+    }
+  }
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    const auto g = static_cast<Gauge>(i);
+    appendf(out, "# TYPE sensrep_%s gauge\n", std::string(to_string(g)).c_str());
+    appendf(out, "sensrep_%s %.17g\n", std::string(to_string(g)).c_str(),
+            s.gauges[i]);
+  }
+  for (std::size_t i = 0; i < s.hists.size(); ++i) {
+    const auto h = static_cast<Hist>(i);
+    const std::string name = std::string(to_string(h));
+    const auto& edges = hist_edges(h);
+    const auto& hs = s.hists[i];
+    appendf(out, "# TYPE sensrep_%s histogram\n", name.c_str());
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      cumulative += hs.buckets[b];
+      appendf(out, "sensrep_%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+              edge_label(edges[b]).c_str(),
+              static_cast<unsigned long long>(cumulative));
+    }
+    appendf(out, "sensrep_%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+            static_cast<unsigned long long>(hs.count));
+    appendf(out, "sensrep_%s_sum %.17g\n", name.c_str(), hs.sum);
+    appendf(out, "sensrep_%s_count %llu\n", name.c_str(),
+            static_cast<unsigned long long>(hs.count));
+  }
+  return out;
+}
+
+std::string influx_lines(const MetricsSnapshot& s, double sim_time) {
+  const auto ts = static_cast<long long>(sim_time * 1e9 + 0.5);
+  std::string out;
+  out.reserve(4096);
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    appendf(out, "sensrep_counter,name=%s value=%llui %lld\n",
+            std::string(to_string(static_cast<Counter>(i))).c_str(),
+            static_cast<unsigned long long>(s.counters[i]), ts);
+  }
+  for (std::size_t i = 0; i < kNetCategories; ++i) {
+    appendf(out, "sensrep_net_tx,category=%s value=%llui %lld\n",
+            kCategoryLabel[i], static_cast<unsigned long long>(s.net_tx[i]), ts);
+    appendf(out, "sensrep_net_rx,category=%s value=%llui %lld\n",
+            kCategoryLabel[i], static_cast<unsigned long long>(s.net_rx[i]), ts);
+  }
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    appendf(out, "sensrep_gauge,name=%s value=%.17g %lld\n",
+            std::string(to_string(static_cast<Gauge>(i))).c_str(), s.gauges[i],
+            ts);
+  }
+  for (std::size_t i = 0; i < s.hists.size(); ++i) {
+    const auto h = static_cast<Hist>(i);
+    const std::string name = std::string(to_string(h));
+    const auto& edges = hist_edges(h);
+    const auto& hs = s.hists[i];
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      cumulative += hs.buckets[b];
+      appendf(out, "sensrep_hist_bucket,name=%s,le=%s value=%llui %lld\n",
+              name.c_str(), edge_label(edges[b]).c_str(),
+              static_cast<unsigned long long>(cumulative), ts);
+    }
+    appendf(out, "sensrep_hist_count,name=%s value=%llui %lld\n", name.c_str(),
+            static_cast<unsigned long long>(hs.count), ts);
+    appendf(out, "sensrep_hist_sum,name=%s value=%.17g %lld\n", name.c_str(),
+            hs.sum, ts);
+  }
+  return out;
+}
+
+std::string json_sample(const MetricsSnapshot& s, double sim_time) {
+  std::string out;
+  out.reserve(2048);
+  appendf(out, "{\"t\":%.17g,\"counters\":{", sim_time);
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    appendf(out, "%s\"%s\":%llu", i ? "," : "",
+            std::string(to_string(static_cast<Counter>(i))).c_str(),
+            static_cast<unsigned long long>(s.counters[i]));
+  }
+  out += "},\"net_tx\":{";
+  for (std::size_t i = 0; i < kNetCategories; ++i) {
+    appendf(out, "%s\"%s\":%llu", i ? "," : "", kCategoryLabel[i],
+            static_cast<unsigned long long>(s.net_tx[i]));
+  }
+  out += "},\"net_rx\":{";
+  for (std::size_t i = 0; i < kNetCategories; ++i) {
+    appendf(out, "%s\"%s\":%llu", i ? "," : "", kCategoryLabel[i],
+            static_cast<unsigned long long>(s.net_rx[i]));
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    appendf(out, "%s\"%s\":%.17g", i ? "," : "",
+            std::string(to_string(static_cast<Gauge>(i))).c_str(), s.gauges[i]);
+  }
+  out += "}}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// InfluxExporter
+
+InfluxExporter::InfluxExporter(const std::string& target) {
+  constexpr std::string_view kTcp = "tcp://";
+  if (target.rfind(kTcp, 0) == 0) {
+    const std::string hostport = target.substr(kTcp.size());
+    const auto colon = hostport.rfind(':');
+    if (colon == std::string::npos) return;
+    const std::string host = hostport.substr(0, colon);
+    const int port = std::atoi(hostport.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return;
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    ok_ = true;
+    return;
+  }
+  file_.open(target, std::ios::trunc);
+  ok_ = static_cast<bool>(file_);
+}
+
+InfluxExporter::~InfluxExporter() { close(); }
+
+void InfluxExporter::on_tick(double sim_time) {
+  if (!ok_) return;
+  const std::string lines = influx_lines(Metrics::snapshot(), sim_time);
+  if (fd_ >= 0) {
+    std::size_t off = 0;
+    while (off < lines.size()) {
+      const ssize_t n = ::send(fd_, lines.data() + off, lines.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) {  // peer gone: stop exporting, keep simulating
+        ok_ = false;
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  } else {
+    file_ << lines;
+  }
+}
+
+void InfluxExporter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (file_.is_open()) {
+    file_.flush();
+    file_.close();
+  }
+  ok_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// WebhookExporter
+
+WebhookExporter::WebhookExporter(LineSink sink, std::size_t batch_ticks,
+                                 std::string url)
+    : sink_(std::move(sink)),
+      batch_ticks_(batch_ticks == 0 ? 1 : batch_ticks),
+      url_(std::move(url)) {}
+
+void WebhookExporter::on_tick(double sim_time) {
+  if (!sink_) return;
+  pending_.push_back(json_sample(Metrics::snapshot(), sim_time));
+  if (pending_.size() >= batch_ticks_) flush();
+}
+
+void WebhookExporter::close() {
+  flush();
+  sink_ = nullptr;
+}
+
+void WebhookExporter::flush() {
+  if (pending_.empty() || !sink_) return;
+  std::string body = "{\"url\":\"" + url_ + "\",\"batch\":[";
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (i) body += ',';
+    body += pending_[i];
+  }
+  body += "]}";
+  sink_(body);
+  pending_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsHttpServer
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool MetricsHttpServer::start(std::uint16_t port, std::string* err) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (err) *err = "socket() failed";
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // scrape-only: loopback
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 4) != 0) {
+    if (err) *err = "bind/listen on 127.0.0.1 failed";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsHttpServer::loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    timeval tv{1, 0};
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    char req[1024];
+    const ssize_t n = ::recv(client, req, sizeof req - 1, 0);
+    std::string response;
+    if (n > 0) {
+      req[n] = '\0';
+      const bool metrics = std::strncmp(req, "GET /metrics", 12) == 0;
+      if (metrics) {
+        const std::string body = prometheus_text(Metrics::snapshot());
+        char hdr[160];
+        std::snprintf(hdr, sizeof hdr,
+                      "HTTP/1.1 200 OK\r\n"
+                      "Content-Type: text/plain; version=0.0.4\r\n"
+                      "Content-Length: %zu\r\n"
+                      "Connection: close\r\n\r\n",
+                      body.size());
+        response = hdr;
+        response += body;
+        scrapes_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        response =
+            "HTTP/1.1 404 Not Found\r\n"
+            "Content-Length: 0\r\nConnection: close\r\n\r\n";
+      }
+    }
+    if (!response.empty()) {
+      std::size_t off = 0;
+      while (off < response.size()) {
+        const ssize_t w = ::send(client, response.data() + off,
+                                 response.size() - off, MSG_NOSIGNAL);
+        if (w <= 0) break;
+        off += static_cast<std::size_t>(w);
+      }
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace sensrep::obs

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+
+namespace sensrep::obs {
+
+/// Common face of the push-style metric sinks. on_tick() is driven on the
+/// *virtual* clock (the service TelemetryExporter's period), so exported
+/// timestamps are deterministic for a given seed and command stream.
+class Exporter {
+ public:
+  virtual ~Exporter() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  virtual void on_tick(double sim_time) = 0;
+  /// Flush and release the sink; further on_tick() calls are no-ops.
+  virtual void close() = 0;
+};
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+[[nodiscard]] std::string prometheus_escape(std::string_view v);
+
+/// Full Prometheus text-exposition rendering of a snapshot: HELP/TYPE
+/// comments, `sensrep_*_total` counters, `category`-labeled tx/rx families,
+/// gauges, and cumulative-`le` histogram series.
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& s);
+
+/// InfluxDB line-protocol rendering: one `measurement,tag=… value=… ts`
+/// line per series, timestamped with the virtual clock in nanoseconds.
+[[nodiscard]] std::string influx_lines(const MetricsSnapshot& s, double sim_time);
+
+/// Single JSON object (no newline) with the whole snapshot — the per-tick
+/// sample the webhook exporter batches into POST bodies.
+[[nodiscard]] std::string json_sample(const MetricsSnapshot& s, double sim_time);
+
+/// InfluxDB line-protocol sink. `target` is a file path or
+/// `tcp://host:port` (a socket writer, e.g. Telegraf's socket_listener).
+class InfluxExporter final : public Exporter {
+ public:
+  explicit InfluxExporter(const std::string& target);
+  ~InfluxExporter() override;
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::string_view name() const override { return "influx"; }
+  void on_tick(double sim_time) override;
+  void close() override;
+
+ private:
+  std::ofstream file_;
+  int fd_ = -1;  // tcp:// mode
+  bool ok_ = false;
+};
+
+/// Batching webhook writer: renders one JSON sample per tick, and every
+/// `batch_ticks` ticks emits a complete POST body
+/// `{"url":…,"batch":[sample,…]}` as a single line through `sink`. The
+/// daemon wires `sink` to a service::JsonlSink so bodies share the bounded-
+/// queue writer thread; a delivery sidecar can then replay the file as real
+/// POSTs. (obs stays dependency-free by taking the sink as a callback.)
+class WebhookExporter final : public Exporter {
+ public:
+  using LineSink = std::function<void(const std::string&)>;
+
+  WebhookExporter(LineSink sink, std::size_t batch_ticks = 8,
+                  std::string url = "");
+
+  [[nodiscard]] std::string_view name() const override { return "webhook"; }
+  void on_tick(double sim_time) override;
+  void close() override;  // flushes a partial batch
+
+ private:
+  void flush();
+
+  LineSink sink_;
+  std::size_t batch_ticks_;
+  std::string url_;
+  std::vector<std::string> pending_;
+};
+
+/// Minimal loopback HTTP server exposing `GET /metrics` as Prometheus text.
+/// One background thread, serial accept, Connection: close — sized for a
+/// scraper, not for traffic. Pull-based: scrapes read the live registry, so
+/// no virtual-clock ticks are needed.
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the serving thread.
+  /// Returns false with `*err` filled on failure.
+  bool start(std::uint16_t port, std::string* err = nullptr);
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept { return listen_fd_ >= 0; }
+  [[nodiscard]] std::uint64_t scrapes() const noexcept {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+  std::thread thread_;
+};
+
+}  // namespace sensrep::obs

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
 #include "service/signal.hpp"
 #include "trace/format.hpp"
 
@@ -54,10 +56,17 @@ Daemon::Daemon(const Snapshot& snapshot) : opts_(snapshot.options) {
 }
 
 Daemon::~Daemon() {
+  if (webhook_) webhook_->close();          // flushes the partial batch...
+  if (webhook_sink_) webhook_sink_->close();  // ...which this drains to disk
+  if (influx_) influx_->close();
   if (jsonl_) jsonl_->close();
 }
 
 void Daemon::construct() {
+  if (opts_.metrics) obs::Metrics::enable(true);
+  if (opts_.flightrec_capacity > 0) {
+    obs::FlightRecorder::enable(opts_.flightrec_capacity);
+  }
   core::SimulationConfig cfg = opts_.simulation_config();
   cfg.validate();
   sim_ = std::make_unique<core::Simulation>(cfg);
@@ -78,6 +87,35 @@ void Daemon::construct() {
     }
     exporter_->start();
   }
+  // Metrics exporters ride the telemetry tick (the virtual-clock batching
+  // cadence), so they require an exporter to drive them.
+  if (!opts_.metrics_influx.empty()) {
+    if (!exporter_) {
+      throw std::runtime_error("influx sink requires telemetry (--telemetry-period)");
+    }
+    influx_ = std::make_unique<obs::InfluxExporter>(opts_.metrics_influx);
+    if (!influx_->ok()) {
+      throw std::runtime_error("cannot open influx sink '" + opts_.metrics_influx + "'");
+    }
+    exporter_->add_metrics_exporter(influx_.get());
+  }
+  if (!opts_.metrics_webhook.empty()) {
+    if (!exporter_) {
+      throw std::runtime_error("webhook sink requires telemetry (--telemetry-period)");
+    }
+    webhook_file_.open(opts_.metrics_webhook);
+    if (!webhook_file_) {
+      throw std::runtime_error("cannot open webhook sink '" + opts_.metrics_webhook + "'");
+    }
+    // Drop-when-full: a shed metrics batch is recoverable (the next one is a
+    // fresh snapshot); stalling the event loop on body I/O is not.
+    webhook_sink_ = std::make_unique<JsonlSink>(webhook_file_, /*capacity=*/1024,
+                                                /*drop_when_full=*/true);
+    webhook_ = std::make_unique<obs::WebhookExporter>(
+        [sink = webhook_sink_.get()](const std::string& body) { sink->push(body); },
+        /*batch_ticks=*/8, opts_.webhook_url);
+    exporter_->add_metrics_exporter(webhook_.get());
+  }
 }
 
 void Daemon::arm_interrupt() {
@@ -89,22 +127,50 @@ std::optional<std::string> Daemon::handle_line(std::string_view line) {
   try {
     cmd = parse_command(line);
   } catch (const std::exception& e) {
+    obs::Metrics::inc(obs::Counter::kServiceCommandErrors);
     return std::string("err ") + e.what();
   }
   if (!cmd) return std::nullopt;
-  if (is_mutation(cmd->kind)) return apply_mutation(*cmd);
-  switch (cmd->kind) {
-    case CommandKind::kStatus:
-      return "ok " + status_line();
+  obs::Metrics::inc(obs::Counter::kServiceCommands);
+  obs::FlightRecorder::note(sim_->simulator().now(), obs::FlightKind::kCommand,
+                            static_cast<std::uint32_t>(cmd->kind));
+  std::string reply = is_mutation(cmd->kind) ? apply_mutation(*cmd) : dispatch_query(*cmd);
+  if (reply.rfind("err", 0) == 0) {
+    obs::Metrics::inc(obs::Counter::kServiceCommandErrors);
+  }
+  return reply;
+}
+
+std::string Daemon::dispatch_query(const Command& c) {
+  switch (c.kind) {
+    case CommandKind::kStatus: {
+      std::string reply = "ok " + status_line();
+      // Sink backpressure rides on status (NOT on the digest itself, whose
+      // token set is frozen by the snapshot format).
+      if (jsonl_) {
+        reply += trace::strfmt(" jsonl_dropped=%llu",
+                               static_cast<unsigned long long>(jsonl_->dropped()));
+      }
+      return reply;
+    }
     case CommandKind::kTelemetry: {
       if (!exporter_) return std::string("err telemetry disabled (--telemetry-period)");
       return exporter_->sample_now().protocol_line() + "\nok telemetry";
     }
     case CommandKind::kSnapshot: {
-      if (!make_snapshot().save(cmd->path)) {
-        return "err snapshot: cannot write '" + cmd->path + "'";
+      if (!make_snapshot().save(c.path)) {
+        return "err snapshot: cannot write '" + c.path + "'";
       }
-      return "ok snapshot " + cmd->path;
+      return "ok snapshot " + c.path;
+    }
+    case CommandKind::kDumpFlightRec: {
+      if (!obs::FlightRecorder::enabled()) {
+        return std::string("err flight recorder disabled (--flightrec-capacity)");
+      }
+      if (!obs::FlightRecorder::dump_to_file(c.path)) {
+        return "err dump-flightrec: cannot write '" + c.path + "'";
+      }
+      return "ok dump-flightrec " + c.path;
     }
     case CommandKind::kQuit:
       quit_ = true;
@@ -186,6 +252,16 @@ void Daemon::serve(std::istream& in, std::ostream& out) {
   }
   std::string line;
   while (!quit_ && !shutdown_requested() && std::getline(in, line)) {
+    // A SIGUSR1 that arrived while blocked in getline (SA_RESTART keeps the
+    // read going) is serviced here, at the next protocol step.
+    if (usr1_requested()) {
+      clear_usr1();
+      if (obs::FlightRecorder::enabled() && !opts_.flightrec_dump.empty() &&
+          obs::FlightRecorder::dump_to_file(opts_.flightrec_dump)) {
+        out << "flightrec " << opts_.flightrec_dump << '\n';
+        out.flush();
+      }
+    }
     const auto reply = handle_line(line);
     if (reply) {
       out << *reply << '\n';
@@ -200,7 +276,11 @@ void Daemon::serve(std::istream& in, std::ostream& out) {
 Snapshot Daemon::make_snapshot() const {
   Snapshot snap;
   snap.options = opts_;
-  snap.options.telemetry_jsonl.clear();  // sinks are the restorer's choice
+  // Sinks are the restorer's choice, not simulation state.
+  snap.options.telemetry_jsonl.clear();
+  snap.options.metrics = false;
+  snap.options.metrics_influx.clear();
+  snap.options.metrics_webhook.clear();
   snap.journal = journal_;
   snap.clock = sim_->simulator().now();
   snap.digest = sim_->digest();

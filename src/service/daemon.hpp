@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "obs/exporters.hpp"
 #include "obs/tracer.hpp"
 #include "service/options.hpp"
 #include "service/protocol.hpp"
@@ -70,11 +71,16 @@ class Daemon {
   void construct();
   void arm_interrupt();
   std::string apply_mutation(const Command& c);
+  std::string dispatch_query(const Command& c);
 
   DaemonOptions opts_;
   obs::Tracer tracer_;  // before sim_: attached spans must outlive the run
   std::ofstream jsonl_file_;
   std::unique_ptr<JsonlSink> jsonl_;
+  std::unique_ptr<obs::InfluxExporter> influx_;
+  std::ofstream webhook_file_;
+  std::unique_ptr<JsonlSink> webhook_sink_;  // before webhook_: its target
+  std::unique_ptr<obs::WebhookExporter> webhook_;
   std::unique_ptr<core::Simulation> sim_;
   std::unique_ptr<TelemetryExporter> exporter_;
   std::vector<JournalEntry> journal_;

@@ -50,6 +50,36 @@ struct DaemonOptions {
   /// restorer's choice, not simulation state.
   std::string telemetry_jsonl;
 
+  // --- Observability sinks -------------------------------------------------
+  // Like telemetry_jsonl, none of these are part of the snapshot: a restored
+  // daemon picks its own sinks, and enabling any of them never changes the
+  // simulation's observable state.
+
+  /// Arms the process-wide metrics registry (obs::Metrics). sensrep_serve
+  /// sets this implicitly when any metrics endpoint/sink flag is given.
+  bool metrics = false;
+
+  /// InfluxDB line-protocol sink: a file path or "tcp://host:port"
+  /// ("" = off). Batched on the telemetry cadence, so it requires
+  /// telemetry_period > 0.
+  std::string metrics_influx;
+
+  /// Webhook sink: a file path receiving one POST body (JSONL) per flushed
+  /// batch ("" = off). Shares the JsonlSink writer-thread design in
+  /// drop-when-full mode; requires telemetry_period > 0.
+  std::string metrics_webhook;
+
+  /// Logical URL stamped into each webhook POST body.
+  std::string webhook_url = "http://localhost/metrics";
+
+  /// Flight-recorder ring capacity in records; 0 disables. Always on by
+  /// default in service mode — the ring is fixed-size and a disabled-or-
+  /// enabled note() costs one relaxed load plus one relaxed fetch_add.
+  std::size_t flightrec_capacity = 65536;
+
+  /// Where SIGUSR1 dumps the flight recorder.
+  std::string flightrec_dump = "flightrec.jsonl";
+
   /// The corresponding simulation config. Always arms the robot-fault
   /// machinery (FaultConfig::external) so injected crash-robot events are
   /// detected and recovered even though no fault source is pre-scheduled.

@@ -69,6 +69,7 @@ std::string_view to_string(CommandKind k) noexcept {
     case CommandKind::kStatus: return "status";
     case CommandKind::kTelemetry: return "telemetry";
     case CommandKind::kSnapshot: return "snapshot";
+    case CommandKind::kDumpFlightRec: return "dump-flightrec";
     case CommandKind::kQuit: return "quit";
   }
   return "?";
@@ -84,6 +85,7 @@ bool is_mutation(CommandKind k) noexcept {
     case CommandKind::kStatus:
     case CommandKind::kTelemetry:
     case CommandKind::kSnapshot:
+    case CommandKind::kDumpFlightRec:
     case CommandKind::kQuit:
       return false;
   }
@@ -124,6 +126,10 @@ std::optional<Command> parse_command(std::string_view line) {
     expect_arity(tokens, 2, "snapshot <path>");
     c.kind = CommandKind::kSnapshot;
     c.path = tokens[1];
+  } else if (verb == "dump-flightrec") {
+    expect_arity(tokens, 2, "dump-flightrec <path>");
+    c.kind = CommandKind::kDumpFlightRec;
+    c.path = tokens[1];
   } else if (verb == "quit") {
     expect_arity(tokens, 1, "quit");
     c.kind = CommandKind::kQuit;
@@ -144,6 +150,8 @@ std::string format_command(const Command& c) {
       return trace::strfmt("advance %.17g", c.seconds);
     case CommandKind::kSnapshot:
       return "snapshot " + c.path;
+    case CommandKind::kDumpFlightRec:
+      return "dump-flightrec " + c.path;
     case CommandKind::kStatus:
     case CommandKind::kTelemetry:
     case CommandKind::kQuit:

@@ -15,8 +15,9 @@ enum class CommandKind : std::uint8_t {
   kAdvance,      // advance <seconds>          run the virtual clock forward
   kStatus,       // status                     print the state digest
   kTelemetry,    // telemetry                  print one telemetry sample now
-  kSnapshot,     // snapshot <path>            write a restorable snapshot
-  kQuit,         // quit                       leave the serve loop
+  kSnapshot,      // snapshot <path>            write a restorable snapshot
+  kDumpFlightRec, // dump-flightrec <path>      dump the flight-recorder ring
+  kQuit,          // quit                       leave the serve loop
 };
 
 [[nodiscard]] std::string_view to_string(CommandKind k) noexcept;
@@ -30,7 +31,7 @@ struct Command {
   CommandKind kind = CommandKind::kStatus;
   std::uint64_t id = 0;    // kFail (sensor slot), kCrashRobot/kRepairRobot (index)
   double seconds = 0.0;    // kAdvance (strictly positive)
-  std::string path;        // kSnapshot
+  std::string path;        // kSnapshot, kDumpFlightRec
 
   friend bool operator==(const Command&, const Command&) = default;
 };

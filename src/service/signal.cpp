@@ -8,12 +8,17 @@ namespace sensrep::service {
 namespace {
 
 std::atomic<int> g_shutdown{0};
+std::atomic<int> g_usr1{0};
 
 }  // namespace
 
 extern "C" void sensrep_service_signal_handler(int /*signum*/) {
   // Only an async-signal-safe store; everything else is cooperative.
   g_shutdown.store(1, std::memory_order_relaxed);
+}
+
+extern "C" void sensrep_service_usr1_handler(int /*signum*/) {
+  g_usr1.store(1, std::memory_order_relaxed);
 }
 
 void install_signal_handlers() {
@@ -28,5 +33,15 @@ bool shutdown_requested() noexcept {
 void request_shutdown() noexcept { g_shutdown.store(1, std::memory_order_relaxed); }
 
 void reset_shutdown() noexcept { g_shutdown.store(0, std::memory_order_relaxed); }
+
+void install_usr1_handler() {
+#ifdef SIGUSR1
+  std::signal(SIGUSR1, &sensrep_service_usr1_handler);
+#endif
+}
+
+bool usr1_requested() noexcept { return g_usr1.load(std::memory_order_relaxed) != 0; }
+
+void clear_usr1() noexcept { g_usr1.store(0, std::memory_order_relaxed); }
 
 }  // namespace sensrep::service

@@ -19,4 +19,16 @@ void request_shutdown() noexcept;
 /// Clears the flag (tests re-arming between cases).
 void reset_shutdown() noexcept;
 
+/// Installs a SIGUSR1 handler that sets a separate dump-request flag. The
+/// daemon polls it between protocol lines and dumps the flight recorder;
+/// glibc's std::signal gives SA_RESTART semantics, so a pending getline is
+/// not interrupted — the dump is serviced at the next protocol step.
+void install_usr1_handler();
+
+/// True once a SIGUSR1 arrived since the last clear_usr1().
+[[nodiscard]] bool usr1_requested() noexcept;
+
+/// Acknowledges (clears) the SIGUSR1 flag.
+void clear_usr1() noexcept;
+
 }  // namespace sensrep::service

@@ -58,17 +58,30 @@ std::string TelemetrySample::json_line() const {
 
 // --- JsonlSink ---------------------------------------------------------------
 
-JsonlSink::JsonlSink(std::ostream& out, std::size_t capacity)
+JsonlSink::JsonlSink(std::ostream& out, std::size_t capacity, bool drop_when_full)
     : out_(out),
       capacity_(capacity == 0 ? 1 : capacity),
+      drop_when_full_(drop_when_full),
       writer_([this] { writer_loop(); }) {}
 
 JsonlSink::~JsonlSink() { close(); }
 
+void JsonlSink::count_drop() noexcept {
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  obs::Metrics::inc(obs::Counter::kJsonlDropped);
+}
+
 void JsonlSink::push(std::string line) {
   std::unique_lock lock(mu_);
+  if (drop_when_full_ && queue_.size() >= capacity_ && !closing_) {
+    count_drop();  // shed rather than stall the producer (the event loop)
+    return;
+  }
   not_full_.wait(lock, [this] { return queue_.size() < capacity_ || closing_; });
-  if (closing_) return;  // shutting down; the producer's line is dropped
+  if (closing_) {  // shutting down; the producer's line is dropped
+    count_drop();
+    return;
+  }
   queue_.push_back(std::move(line));
   not_empty_.notify_one();
 }
@@ -161,6 +174,19 @@ void TelemetryExporter::tick() {
   last_t_ = s.t;
   last_repaired_ = s.repaired;
   ++samples_;
+  // Registry state (not an emission): gauges track the latest sample even
+  // while muted, so a post-restore scrape shows live values immediately.
+  obs::Metrics::inc(obs::Counter::kTelemetrySamples);
+  const auto deployed = static_cast<double>(sim_.config().sensor_count());
+  obs::Metrics::set_gauge(obs::Gauge::kAliveSensors,
+                          deployed - static_cast<double>(s.open_failures));
+  obs::Metrics::set_gauge(obs::Gauge::kLiveRobots,
+                          static_cast<double>(s.live_robots));
+  obs::Metrics::set_gauge(obs::Gauge::kOpenFailures,
+                          static_cast<double>(s.open_failures));
+  obs::Metrics::set_gauge(obs::Gauge::kPendingEvents,
+                          static_cast<double>(sim_.simulator().pending()));
+  obs::Metrics::set_gauge(obs::Gauge::kSimClock, s.t);
   if (options_.retention_window > 0.0) {
     const double cutoff = s.t - options_.retention_window;
     availability_.drop_before(cutoff);
@@ -170,6 +196,7 @@ void TelemetryExporter::tick() {
   if (muted_) return;
   if (line_sink_) line_sink_(s.protocol_line());
   if (jsonl_ != nullptr) jsonl_->push(s.json_line());
+  for (obs::Exporter* e : metrics_exporters_) e->on_tick(s.t);
 }
 
 }  // namespace sensrep::service

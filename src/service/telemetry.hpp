@@ -13,6 +13,7 @@
 
 #include "core/simulation.hpp"
 #include "metrics/timeline.hpp"
+#include "obs/exporters.hpp"
 #include "obs/tracer.hpp"
 
 namespace sensrep::service {
@@ -51,21 +52,27 @@ struct TelemetrySample {
 };
 
 /// Bounded-queue JSONL writer with a background flush thread, so telemetry
-/// file I/O never stalls the simulation's event loop. push() applies
-/// backpressure (blocks) when the queue is full rather than dropping or
-/// growing without bound. close() drains everything and joins; the
-/// destructor closes implicitly. The target stream is written exclusively
-/// by the writer thread until close() returns.
+/// file I/O never stalls the simulation's event loop. By default push()
+/// applies backpressure (blocks) when the queue is full rather than dropping
+/// or growing without bound; with `drop_when_full` it sheds the line instead
+/// (metrics bodies are periodic snapshots, so losing one is recoverable —
+/// stalling the event loop is not). Every shed line — full-queue or
+/// after-close — lands in dropped() and the kJsonlDropped registry counter,
+/// so backpressure is observable rather than silent. close() drains
+/// everything and joins; the destructor closes implicitly. The target stream
+/// is written exclusively by the writer thread until close() returns.
 class JsonlSink {
  public:
-  explicit JsonlSink(std::ostream& out, std::size_t capacity = 4096);
+  explicit JsonlSink(std::ostream& out, std::size_t capacity = 4096,
+                     bool drop_when_full = false);
   ~JsonlSink();
 
   JsonlSink(const JsonlSink&) = delete;
   JsonlSink& operator=(const JsonlSink&) = delete;
 
   /// Enqueues one line (no trailing newline; the sink adds it). Blocks
-  /// while the queue is full; after close() the line is dropped.
+  /// while the queue is full (unless drop_when_full); after close() the
+  /// line is dropped.
   void push(std::string line);
 
   /// Drains the queue, flushes, and joins the writer. Idempotent.
@@ -76,17 +83,26 @@ class JsonlSink {
     return written_.load(std::memory_order_relaxed);
   }
 
+  /// Lines dropped instead of written (push after close, or a full queue in
+  /// drop_when_full mode).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
  private:
   void writer_loop();
+  void count_drop() noexcept;
 
   std::ostream& out_;
   std::size_t capacity_;
+  bool drop_when_full_;
   std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<std::string> queue_;
   bool closing_ = false;
   std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> dropped_{0};
   std::thread writer_;
 };
 
@@ -109,6 +125,12 @@ class TelemetryExporter {
 
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
   void set_jsonl(JsonlSink* sink) noexcept { jsonl_ = sink; }
+  /// Registers a metrics exporter (Influx/webhook) to drive on each tick —
+  /// batched on the same virtual-clock cadence as the telemetry stream.
+  /// Not owned; muting suppresses exporter ticks like every other emission.
+  void add_metrics_exporter(obs::Exporter* exporter) {
+    if (exporter != nullptr) metrics_exporters_.push_back(exporter);
+  }
   void set_line_sink(std::function<void(const std::string&)> sink) {
     line_sink_ = std::move(sink);
   }
@@ -136,6 +158,7 @@ class TelemetryExporter {
   Options options_;
   obs::Tracer* tracer_ = nullptr;
   JsonlSink* jsonl_ = nullptr;
+  std::vector<obs::Exporter*> metrics_exporters_;
   std::function<void(const std::string&)> line_sink_;
   bool muted_ = false;
   bool started_ = false;

@@ -42,6 +42,7 @@ bool EventQueue::cancel(EventId id) noexcept {
     s.state = SlotState::kCancelled;
     --live_count_;
   }
+  obs::Metrics::inc(obs::Counter::kEventsCancelled);
   ++dead_in_heap_;
   maybe_compact();
   return true;
@@ -58,6 +59,7 @@ SimTime EventQueue::next_time() const {
 
 EventQueue::Popped EventQueue::pop() {
   const obs::ScopedTimer probe(obs::Probe::kEventPop);
+  obs::Metrics::inc(obs::Counter::kEventsExecuted);
   skim();
   assert(!heap_times_.empty());
   const HeapEntry top{heap_times_.front(), heap_keys_.front()};
@@ -92,6 +94,9 @@ std::uint32_t EventQueue::acquire_slot() {
   if (free_head_ == kNoSlot) {
     const auto base = static_cast<std::uint32_t>(pool_slots());
     chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+    // Chunk growth is rare (amortized), so the occupancy gauge rides on it.
+    obs::Metrics::set_gauge(obs::Gauge::kEventPoolSlots,
+                            static_cast<double>(pool_slots()));
     // Thread the fresh chunk onto the free list in increasing-index order so
     // slot assignment stays deterministic.
     for (std::uint32_t i = kChunkSlots; i-- > 0;) {

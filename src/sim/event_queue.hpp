@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics_registry.hpp"
 #include "obs/profiler.hpp"
 #include "sim/time.hpp"
 
@@ -88,6 +89,7 @@ class EventQueue {
       }
     }
     const obs::ScopedTimer probe(obs::Probe::kEventPush);
+    obs::Metrics::inc(obs::Counter::kEventsScheduled);
     const std::uint64_t seq = next_seq_++;
     EventId id;
     if (legacy_) {

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "geometry/spatial_hash.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
 #include "trace/log.hpp"
 
 namespace sensrep::wsn {
@@ -179,6 +181,8 @@ void SensorField::fail_slot(NodeId slot) {
   n.fail();
   alive_soa_[slot] = 0;
   medium_->set_alive(slot, false);
+  obs::Metrics::inc(obs::Counter::kSensorFailures);
+  obs::FlightRecorder::note(now, obs::FlightKind::kSensorFailure, slot);
   open_failure_[slot] = log_->open(slot, now);
   if (hooks_.on_failure) hooks_.on_failure(slot, now);
   if (event_log_) {
@@ -233,6 +237,10 @@ void SensorField::replace_slot(NodeId slot, NodeId robot) {
     auto& rec = log_->at(*open_failure_[slot]);
     rec.repaired_at = now;
     rec.robot_id = robot;
+    obs::Metrics::inc(obs::Counter::kSensorRepairs);
+    obs::Metrics::observe(obs::Hist::kRepairLatency,
+                          rec.repaired_at - rec.failed_at);
+    obs::FlightRecorder::note(now, obs::FlightKind::kSensorRepair, slot, robot);
     if (tracer_) {
       const std::uint64_t tid = *open_failure_[slot] + 1;
       // Stages the normal path already closed are no-ops here; this sweeps

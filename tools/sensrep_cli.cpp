@@ -64,6 +64,20 @@
 //   --profile-csv=PATH  like --profile, but also write the per-probe counters
 //                       as CSV (probe,calls,total_ns) — the CI regression
 //                       artifacts
+//   --metrics-out=PATH  enable the metrics registry and write its final state
+//                       as Prometheus text exposition (trace_check
+//                       --prometheus validates it)
+//   --influx-out=PATH   enable the registry and write the final snapshot as
+//                       InfluxDB line protocol, timestamped at the final
+//                       virtual clock (trace_check --influx validates it)
+//   --flightrec-dump=PATH  enable the flight recorder and dump the ring as
+//                       JSONL at end of run — or at the moment of an
+//                       invariant violation when --check-invariants is on,
+//                       so the dump's tail leads into the breach
+//   --flightrec-capacity=N  ring size in records (default 65536)
+//   --sabotage-robot=T  testing hook: kill robot 0 at time T *behind the
+//                       coordination layer's back* (no ledger entry), which
+//                       the invariant oracle must flag as robot-bookkeeping
 //   --log-level=off|debug|info|warn|error   global logger threshold
 //                       (default warn)
 //   --histogram         print an ASCII histogram of repair latencies
@@ -91,6 +105,9 @@
 #include "metrics/histogram.hpp"
 #include "metrics/summary.hpp"
 #include "metrics/timeline.hpp"
+#include "obs/exporters.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics_registry.hpp"
 #include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 #include "service/signal.hpp"
@@ -304,21 +321,46 @@ int main(int argc, char** argv) {
     const bool quiet = args.has("quiet");
     const bool check_invariants = args.has("check-invariants");
     const auto invariant_report = args.get_string("invariant-report", "");
+    const auto metrics_out = args.get_string("metrics-out", "");
+    const auto influx_out = args.get_string("influx-out", "");
+    const auto flightrec_dump = args.get_string("flightrec-dump", "");
+    const bool flightrec_capacity_given = args.has("flightrec-capacity");
+    const auto flightrec_capacity = args.get_u64("flightrec-capacity", 65536);
+    const bool sabotage_given = args.has("sabotage-robot");
+    const auto sabotage_at = args.get_double_in("sabotage-robot", 0.0, 0.0, inf);
     args.reject_unknown();
     cfg.validate();
+    if (sabotage_given) {
+      tools::validate_crash_times("sabotage-robot", {sabotage_at}, cfg.sim_duration);
+    }
     if (!invariant_report.empty() && !check_invariants) {
       throw std::invalid_argument("--invariant-report requires --check-invariants");
     }
 
     const bool tracing = !trace_out.empty() || !trace_jsonl.empty() || !stage_csv.empty();
-    if (replications > 1 && (tracing || !timeseries_path.empty() || check_invariants)) {
+    if (replications > 1 &&
+        (tracing || !timeseries_path.empty() || check_invariants || sabotage_given ||
+         !flightrec_dump.empty())) {
       throw std::invalid_argument(
-          "--trace-out/--trace-jsonl/--stage-csv/--timeseries-out/--check-invariants "
-          "follow a single run; drop --replications to use them");
+          "--trace-out/--trace-jsonl/--stage-csv/--timeseries-out/--check-invariants/"
+          "--sabotage-robot/--flightrec-dump follow a single run; drop --replications "
+          "to use them");
     }
     if (profile) {
       obs::Profiler::reset();
       obs::Profiler::enable(true);
+    }
+    // Strictly opt-in, like the profiler: without these flags the registry
+    // and recorder stay disabled and every probe is one relaxed load.
+    if (!metrics_out.empty() || !influx_out.empty()) {
+      obs::Metrics::reset();
+      obs::Metrics::enable(true);
+    }
+    const bool flightrec_on =
+        !flightrec_dump.empty() || (flightrec_capacity_given && flightrec_capacity > 0);
+    if (flightrec_on) {
+      obs::FlightRecorder::enable(static_cast<std::size_t>(
+          flightrec_capacity == 0 ? 65536 : flightrec_capacity));
     }
 
     // Ctrl-C/SIGTERM interrupt the event loop cooperatively: single runs
@@ -371,8 +413,17 @@ int main(int argc, char** argv) {
     if (check_invariants) {
       chaos::InvariantCheckerOptions opts;
       opts.fail_fast = invariant_report.empty();
+      opts.flightrec_dump = flightrec_dump;  // dump the ring at the breach
       checker = std::make_unique<chaos::InvariantChecker>(
           simulation, opts, tracing ? &tracer : nullptr);
+    }
+
+    if (sabotage_given) {
+      // Kill a robot behind the coordination layer's back: ground truth then
+      // disagrees with the injection ledger, which the oracle must flag.
+      simulation.simulator().at(sabotage_at, [&simulation] {
+        simulation.robots()[0]->fail();
+      });
     }
 
     // Periodic fleet/backlog telemetry, sampled on the virtual clock. 200
@@ -513,6 +564,38 @@ int main(int argc, char** argv) {
           std::cerr << "sensrep_cli: failed to write " << profile_csv << "\n";
           return 2;
         }
+      }
+    }
+    if (!metrics_out.empty() || !influx_out.empty()) {
+      const obs::MetricsSnapshot msnap = obs::Metrics::snapshot();
+      if (!metrics_out.empty()) {
+        std::ofstream out(metrics_out);
+        out << obs::prometheus_text(msnap);
+        if (!out) {
+          std::cerr << "sensrep_cli: failed to write " << metrics_out << "\n";
+          return 2;
+        }
+        if (!quiet) std::cout << "wrote Prometheus metrics to " << metrics_out << "\n";
+      }
+      if (!influx_out.empty()) {
+        std::ofstream out(influx_out);
+        out << obs::influx_lines(msnap, simulation.simulator().now());
+        if (!out) {
+          std::cerr << "sensrep_cli: failed to write " << influx_out << "\n";
+          return 2;
+        }
+        if (!quiet) std::cout << "wrote influx lines to " << influx_out << "\n";
+      }
+    }
+    // A violation already dumped the ring at the breach (the tail must lead
+    // into the violation) — don't overwrite it with the end-of-run state.
+    if (flightrec_on && !flightrec_dump.empty() && !(checker && !checker->ok())) {
+      if (!obs::FlightRecorder::dump_to_file(flightrec_dump)) {
+        std::cerr << "sensrep_cli: failed to write " << flightrec_dump << "\n";
+        return 2;
+      }
+      if (!quiet) {
+        std::cout << "wrote flight recorder dump to " << flightrec_dump << "\n";
       }
     }
     if (checker) {

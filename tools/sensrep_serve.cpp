@@ -9,9 +9,11 @@
 //   repair-robot <index>    resurrect robot <index> now
 //   advance <seconds>       run the virtual clock forward (telemetry streams
 //                           in between; SIGINT interrupts cleanly)
-//   status                  print the deterministic state digest
+//   status                  print the deterministic state digest (plus
+//                           jsonl_dropped=N when a telemetry sink is wired)
 //   telemetry               print one telemetry sample now
 //   snapshot <path>         write a restorable snapshot
+//   dump-flightrec <path>   dump the flight-recorder ring as JSONL
 //   quit                    leave the loop (a final "bye <digest>" prints)
 //
 // Flags:
@@ -33,6 +35,18 @@
 //                         is the config; sink/serving flags still apply)
 //   --listen=PORT         serve one TCP client on 127.0.0.1:PORT instead of
 //                         stdin/stdout
+//   --metrics-listen=PORT expose Prometheus text at
+//                         http://127.0.0.1:PORT/metrics (0 = ephemeral; the
+//                         bound port prints to stderr). Enables the registry.
+//   --metrics-influx=T    InfluxDB line-protocol sink: file path or
+//                         tcp://host:port (requires --telemetry-period)
+//   --metrics-webhook=P   batched webhook POST bodies as JSONL to file P
+//                         (requires --telemetry-period)
+//   --webhook-url=URL     logical URL stamped into webhook bodies
+//   --flightrec-capacity=N  flight-recorder ring size in records
+//                           (default 65536; 0 disables)
+//   --flightrec-dump=PATH   where SIGUSR1 dumps the ring
+//                           (default flightrec.jsonl)
 //   --log-level=off|debug|info|warn|error   (default warn)
 //
 // The protocol, snapshot format, and determinism contract are specified in
@@ -54,6 +68,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/exporters.hpp"
 #include "service/daemon.hpp"
 #include "service/signal.hpp"
 #include "service/snapshot.hpp"
@@ -174,6 +189,27 @@ int main(int argc, char** argv) {
     const auto listen = args.get_u64("listen", 0);
     const auto telemetry_jsonl = args.get_string("telemetry-jsonl", "");
 
+    // Observability sinks — like --telemetry-jsonl these are the serving
+    // process's choice, so they compose with --restore.
+    const bool metrics_listen_given = args.has("metrics-listen");
+    const auto metrics_listen = args.get_u64("metrics-listen", 0);
+    const auto metrics_influx = args.get_string("metrics-influx", "");
+    const auto metrics_webhook = args.get_string("metrics-webhook", "");
+    const auto webhook_url = args.get_string("webhook-url", "http://localhost/metrics");
+    const auto flightrec_capacity = args.get_u64("flightrec-capacity", 65536);
+    const auto flightrec_dump = args.get_string("flightrec-dump", "flightrec.jsonl");
+    const bool metrics_on =
+        metrics_listen_given || !metrics_influx.empty() || !metrics_webhook.empty();
+    const auto apply_sinks = [&](service::DaemonOptions& o) {
+      o.telemetry_jsonl = telemetry_jsonl;
+      o.metrics = metrics_on;
+      o.metrics_influx = metrics_influx;
+      o.metrics_webhook = metrics_webhook;
+      o.webhook_url = webhook_url;
+      o.flightrec_capacity = static_cast<std::size_t>(flightrec_capacity);
+      o.flightrec_dump = flightrec_dump;
+    };
+
     std::unique_ptr<service::Daemon> daemon;
     if (!restore.empty()) {
       for (const char* flag : {"algorithm", "algo", "robots", "seed", "horizon",
@@ -187,8 +223,9 @@ int main(int argc, char** argv) {
       }
       args.reject_unknown();
       service::Snapshot snap = service::Snapshot::load(restore);
-      // Where the restored daemon writes telemetry is the restorer's choice.
-      snap.options.telemetry_jsonl = telemetry_jsonl;
+      // Where the restored daemon writes telemetry/metrics is the restorer's
+      // choice.
+      apply_sinks(snap.options);
       daemon = std::make_unique<service::Daemon>(snap);
     } else {
       service::DaemonOptions opts;
@@ -205,12 +242,26 @@ int main(int argc, char** argv) {
       opts.telemetry_period = args.get_double_in("telemetry-period", 0.0, 0.0, 1e18);
       opts.retention_window = args.get_double_in("retention-window", 0.0, 0.0, 1e18);
       opts.trace_stages = args.has("trace-stages");
-      opts.telemetry_jsonl = telemetry_jsonl;
+      apply_sinks(opts);
       args.reject_unknown();
       daemon = std::make_unique<service::Daemon>(opts);
     }
 
+    obs::MetricsHttpServer metrics_http;
+    if (metrics_listen_given) {
+      if (metrics_listen > 65535) {
+        throw std::invalid_argument("--metrics-listen: port out of range");
+      }
+      std::string err;
+      if (!metrics_http.start(static_cast<std::uint16_t>(metrics_listen), &err)) {
+        throw std::runtime_error("metrics endpoint: " + err);
+      }
+      std::cerr << "sensrep_serve: metrics on http://127.0.0.1:" << metrics_http.port()
+                << "/metrics\n";
+    }
+
     service::install_signal_handlers();
+    service::install_usr1_handler();
     if (listen != 0) {
       if (listen > 65535) throw std::invalid_argument("--listen: port out of range");
       return serve_tcp(*daemon, static_cast<std::uint16_t>(listen));
