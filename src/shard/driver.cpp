@@ -1,0 +1,225 @@
+#include "shard/driver.hpp"
+
+#include <algorithm>
+
+#include "metrics/counters.hpp"
+
+namespace sensrep::shard {
+
+namespace {
+/// Expected ticks per window below which classification runs inline: a
+/// window this quiet costs less to classify than to fan out (the inline and
+/// pooled paths execute identical code over identical state, so the choice
+/// is invisible to results).
+constexpr double kParallelThreshold = 256.0;
+}  // namespace
+
+ShardedDriver::ShardedDriver(sim::Simulator& sim, net::Medium& medium,
+                             wsn::SensorField& field, const geometry::Rect& bounds,
+                             std::size_t shards)
+    : sim_(&sim),
+      medium_(&medium),
+      field_(&field),
+      topo_(bounds, field.config().sensor_tx_range, shards),
+      ledger_(topo_),
+      period_(field.config().beacon_period),
+      tiles_(topo_.tiles()),
+      pool_(topo_.tiles() > 1
+                ? std::make_unique<runner::ThreadPool>(topo_.tiles())
+                : nullptr) {}
+
+void ShardedDriver::arm_tick(net::NodeId slot, sim::SimTime first, double period) {
+  if (slot >= arms_.size()) arms_.resize(slot + 1);
+  SlotArm& a = arms_[slot];
+  ++a.gen;  // retires any heap entries of a previous incarnation
+  if (a.bridge) {
+    sim_->cancel(*a.bridge);
+    a.bridge.reset();
+    --bridged_;
+  }
+  if (!a.armed) {
+    a.armed = true;
+    ++armed_;
+  }
+  a.period = period;
+  a.tile = static_cast<std::uint32_t>(topo_.tile_of(field_->node(slot).position()));
+  if (in_window_ && first <= window_end_) {
+    // Mid-window revival (replace_slot executing inside a barrier replay):
+    // the first occurrence must interleave with the window's remaining
+    // events in exact time order, so it goes through the global queue — the
+    // same one-shot-then-series shape the sequential activate_clocks uses.
+    // From the second occurrence on the series lives in the tile ticker
+    // (first + period always lands beyond the current window).
+    const std::uint32_t gen = a.gen;
+    a.bridge = sim_->at(first, [this, slot, first, gen] {
+      SlotArm& arm = arms_[slot];
+      if (!arm.armed || arm.gen != gen) return;  // defensive; disarm cancels us
+      arm.bridge.reset();
+      --bridged_;
+      field_->node(slot).tick();
+      tiles_[arm.tile].ticker.arm(slot, first + arm.period, gen);
+    });
+    ++bridged_;
+    ++stats_.bridged_ticks;
+  } else {
+    tiles_[a.tile].ticker.arm(slot, first, a.gen);
+  }
+}
+
+void ShardedDriver::disarm_tick(net::NodeId slot) {
+  if (slot >= arms_.size()) return;
+  SlotArm& a = arms_[slot];
+  if (!a.armed) return;
+  ++a.gen;  // heap entries die lazily on their next pop
+  a.armed = false;
+  --armed_;
+  if (a.bridge) {
+    sim_->cancel(*a.bridge);
+    a.bridge.reset();
+    --bridged_;
+  }
+}
+
+void ShardedDriver::run_until(sim::SimTime horizon) {
+  while (sim_->now() < horizon) {
+    const sim::SimTime now = sim_->now();
+    // Window cap: one beacon period keeps every slot to (at most) one tick
+    // per window, and the earliest queued event keeps global events pinned
+    // to window edges — the two pillars of the equivalence argument.
+    sim::SimTime w_end = std::min(horizon, now + period_);
+    if (sim_->pending() > 0) w_end = std::min(w_end, sim_->next_event_time());
+    if (w_end < now) w_end = now;
+    bool interrupted = false;
+    if (w_end > now) interrupted = process_window(w_end);
+    // Land exactly on the window edge even if the probe fires mid-advance:
+    // only window boundaries are states the sequential schedule shares, so
+    // interrupts are honored with window granularity (docs/SHARDING.md §4).
+    do {
+      sim_->run_until(w_end);
+      interrupted = interrupted || sim_->interrupted();
+    } while (sim_->interrupted());
+    if (interrupted) return;
+  }
+}
+
+void ShardedDriver::classify_tile(std::size_t t, sim::SimTime w_end) {
+  Tile& tile = tiles_[t];
+  tile.halo.clear();
+  tile.escalated = 0;
+  tile.stale = 0;
+  std::uint64_t seq = 0;
+  tile.ticker.drain(w_end, [&](sim::SimTime time, net::NodeId slot, std::uint32_t gen) {
+    const SlotArm& a = arms_[slot];
+    if (!a.armed || a.gen != gen) {
+      ++tile.stale;
+      return;
+    }
+    TickRecord r;
+    r.time = time;
+    r.seq = seq++;
+    r.origin_tile = static_cast<std::uint32_t>(t);
+    r.slot = slot;
+    r.gen = gen;
+    r.quiet = field_->node(slot).quiet_tick_viable(time);
+    if (r.quiet) {
+      // Quiet rearm stays tile-local; it lands beyond w_end (window cap), so
+      // the drain terminates. Escalations rearm at the barrier after replay.
+      tile.ticker.arm(slot, time + a.period, gen);
+    } else {
+      ++tile.escalated;
+    }
+    tile.halo.push(r);
+  });
+}
+
+bool ShardedDriver::process_window(sim::SimTime w_end) {
+  ++stats_.windows;
+  in_window_ = true;
+  window_end_ = w_end;
+
+  // Phase A: parallel classification against the frozen window state. Pure
+  // reads only — every simulation-state write waits for the barrier, which
+  // is what makes the fan-out race-free without a single atomic.
+  const sim::SimTime now = sim_->now();
+  const double expected =
+      armed_ == 0 ? 0.0
+                  : (w_end - now) / period_ * static_cast<double>(armed_);
+  if (pool_ && expected >= kParallelThreshold) {
+    ++stats_.parallel_windows;
+    for (std::size_t t = 0; t < tiles_.size(); ++t) {
+      pool_->submit([this, t, w_end] { classify_tile(t, w_end); });
+    }
+    pool_->wait_idle();  // the tick barrier: all halo queues sealed
+  } else {
+    for (std::size_t t = 0; t < tiles_.size(); ++t) classify_tile(t, w_end);
+  }
+
+  bool any_escalated = false;
+  for (const Tile& tile : tiles_) {
+    stats_.stale_skips += tile.stale;
+    if (tile.escalated > 0) any_escalated = true;
+  }
+
+  // Barrier: commit in canonical order on this thread.
+  std::size_t quiet_total = 0;
+  bool interrupted = false;
+  if (!any_escalated) {
+    // Pure-quiet fast path: commits are self-local (beacon stamp, aging,
+    // rereport bookkeeping with nothing due) and no event runs between
+    // them, so cross-tile order is immaterial — skip the merge sort.
+    for (Tile& tile : tiles_) {
+      for (const TickRecord& r : tile.halo.records()) {
+        field_->node(r.slot).commit_quiet_tick(r.time);
+      }
+      quiet_total += tile.halo.size();
+      tile.halo.clear();
+    }
+  } else {
+    ++stats_.escalation_windows;
+    scratch_.clear();
+    for (Tile& tile : tiles_) {
+      scratch_.insert(scratch_.end(), tile.halo.records().begin(),
+                      tile.halo.records().end());
+      tile.halo.clear();
+    }
+    std::sort(scratch_.begin(), scratch_.end(), canonical_less);
+    for (const TickRecord& r : scratch_) {
+      // Interleave the events an escalated tick spawned (deliveries, robot
+      // reactions) with the remaining ticks in exact time order.
+      const sim::SimTime t = std::max(r.time, sim_->now());
+      do {
+        sim_->run_until(t);
+        interrupted = interrupted || sim_->interrupted();
+      } while (sim_->interrupted());
+      SlotArm& a = arms_[r.slot];
+      if (!a.armed || a.gen != r.gen) {
+        // A replayed event (lifetime failure, chaos kill) disarmed the slot
+        // before this tick's time — the sequential schedule would have
+        // cancelled the occurrence too.
+        ++stats_.stale_skips;
+        continue;
+      }
+      if (r.quiet) {
+        field_->node(r.slot).commit_quiet_tick(r.time);
+        ++quiet_total;
+      } else {
+        field_->node(r.slot).tick();
+        tiles_[a.tile].ticker.arm(r.slot, r.time + a.period, a.gen);
+        ++stats_.escalated_ticks;
+        sim_->note_external_executed(1);
+      }
+    }
+  }
+  stats_.quiet_ticks += quiet_total;
+  if (quiet_total > 0) {
+    // The sequential tick() books one analytic beacon per quiet tick; merge
+    // the window's worth in one call. Observers are queue events, which only
+    // run at window edges, so the totals agree at every observation point.
+    medium_->account(metrics::MessageCategory::kBeacon, quiet_total);
+    sim_->note_external_executed(static_cast<std::uint64_t>(quiet_total));
+  }
+  in_window_ = false;
+  return interrupted;
+}
+
+}  // namespace sensrep::shard

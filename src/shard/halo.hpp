@@ -1,0 +1,65 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace sensrep::shard {
+
+/// One tick record crossing a tile's halo into the barrier: either a quiet
+/// tick awaiting its self-local commit or an escalation awaiting a full
+/// tick() replay. `seq` is the record's pop position within its tile's
+/// window (tile tickers pop in (time, slot) order, so seq is time-ascending
+/// per tile); together with `origin_tile` it gives every record a unique
+/// canonical rank even under exact time ties.
+struct TickRecord {
+  sim::SimTime time = 0.0;
+  std::uint64_t seq = 0;
+  std::uint32_t origin_tile = 0;
+  net::NodeId slot = net::kNoNode;
+  std::uint32_t gen = 0;  // arm generation at classification (stale-entry guard)
+  bool quiet = false;
+};
+
+/// The deterministic barrier order: (time, seq, origin-tile). Worker
+/// scheduling never influences it — each field is fixed by the tile's heap
+/// content, which is fixed by the simulation state at the window start.
+[[nodiscard]] inline bool canonical_less(const TickRecord& a, const TickRecord& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.seq != b.seq) return a.seq < b.seq;
+  return a.origin_tile < b.origin_tile;
+}
+
+/// Per-tile halo queue: records appended in pop order during the parallel
+/// classification phase (single-writer — the tile's worker), drained by the
+/// driver at the barrier.
+class HaloQueue {
+ public:
+  void push(const TickRecord& r) { records_.push_back(r); }
+  void clear() noexcept { records_.clear(); }
+  [[nodiscard]] const std::vector<TickRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  std::vector<TickRecord> records_;
+};
+
+/// K-way merge of all tiles' halo queues into canonical (time, seq,
+/// origin-tile) order. The result is a pure function of the queues' contents
+/// — independent of which worker filled which queue first.
+inline void merge_halo(const std::vector<HaloQueue>& queues,
+                       std::vector<TickRecord>& out) {
+  out.clear();
+  for (const HaloQueue& q : queues) {
+    out.insert(out.end(), q.records().begin(), q.records().end());
+  }
+  std::sort(out.begin(), out.end(), canonical_less);
+}
+
+}  // namespace sensrep::shard

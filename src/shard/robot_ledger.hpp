@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec2.hpp"
+#include "shard/topology.hpp"
+
+namespace sensrep::shard {
+
+/// Robot → tile ownership ledger. Every robot is owned by exactly one tile
+/// at all times; a position update that crosses a tile boundary is a
+/// *migration* (hand-off through the barrier, since robot movement events
+/// only execute there). The conservation invariant — no robot owned by zero
+/// or two tiles — is structural here and fuzz-checked in tests/shard_test.
+class RobotLedger {
+ public:
+  explicit RobotLedger(const Topology& topo) : topo_(&topo) {}
+
+  /// (Re)seeds ownership from the fleet's deployment positions.
+  void reset(const std::vector<geometry::Vec2>& positions) {
+    owner_.resize(positions.size());
+    count_.assign(topo_->tiles(), 0);
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      owner_[i] = topo_->tile_of(positions[i]);
+      ++count_[owner_[i]];
+    }
+    migrations_ = 0;
+  }
+
+  /// Position update from CoordinationAlgorithm::on_robot_moved. Runs at
+  /// barriers only (robot movement is a global event), so plain bookkeeping
+  /// suffices.
+  void on_robot_moved(std::size_t robot, geometry::Vec2 pos) {
+    if (robot >= owner_.size()) return;  // fleet grew behind our back: ignore
+    const std::size_t tile = topo_->tile_of(pos);
+    if (tile == owner_[robot]) return;
+    --count_[owner_[robot]];
+    ++count_[tile];
+    owner_[robot] = tile;
+    ++migrations_;
+  }
+
+  [[nodiscard]] std::size_t robots() const noexcept { return owner_.size(); }
+  [[nodiscard]] std::size_t owner(std::size_t robot) const { return owner_.at(robot); }
+  [[nodiscard]] const std::vector<std::size_t>& tile_counts() const noexcept {
+    return count_;
+  }
+  [[nodiscard]] std::uint64_t migrations() const noexcept { return migrations_; }
+
+  /// Conservation check: per-tile counts sum to the fleet size and agree
+  /// with the owner map (each robot counted exactly once).
+  [[nodiscard]] bool conserved() const {
+    std::vector<std::size_t> recount(count_.size(), 0);
+    for (const std::size_t t : owner_) {
+      if (t >= recount.size()) return false;
+      ++recount[t];
+    }
+    return recount == count_;
+  }
+
+ private:
+  const Topology* topo_;
+  std::vector<std::size_t> owner_;
+  std::vector<std::size_t> count_;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace sensrep::shard

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace sensrep::shard {
+
+/// Per-tile beacon tick schedule: a (time, slot) min-heap owned by exactly
+/// one tile. Under sharding these heaps replace the per-sensor every()
+/// series in the global event queue — the dominant event class at scale —
+/// which both parallelizes the tick work and shrinks the serial queue to
+/// genuinely global events.
+///
+/// Disarms are lazy: the driver bumps the slot's arm generation and stale
+/// heap entries are discarded on pop (the same strategy the pooled
+/// EventQueue uses for cancelled events).
+class TileTicker {
+ public:
+  struct Entry {
+    sim::SimTime time;
+    net::NodeId slot;
+    std::uint32_t gen;
+  };
+
+  void arm(net::NodeId slot, sim::SimTime at, std::uint32_t gen) {
+    heap_.push(Entry{at, slot, gen});
+  }
+
+  /// Pops every entry with time <= horizon in (time, slot) order and hands
+  /// it to `fn(time, slot, gen)`. `fn` may arm() re-scheduled entries; the
+  /// driver's window cap (one beacon period) guarantees they land beyond
+  /// `horizon`, so the drain terminates.
+  template <typename F>
+  void drain(sim::SimTime horizon, F&& fn) {
+    while (!heap_.empty() && heap_.top().time <= horizon) {
+      const Entry e = heap_.top();
+      heap_.pop();
+      fn(e.time, e.slot, e.gen);
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  struct Later {
+    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.slot > b.slot;  // deterministic pop order under exact ties
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace sensrep::shard

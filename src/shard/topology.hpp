@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "geometry/vec2.hpp"
+
+namespace sensrep::shard {
+
+/// Partition of the field into vertical column tiles whose x-boundaries lie
+/// on spatial::UniformGrid2D cell edges (cell size = sensor TX range, the
+/// same granularity SensorField buckets at). Aligning tiles to grid columns
+/// means a tile boundary never splits a grid cell, so per-tile sensor sets
+/// are unions of whole cell columns and the assignment is a pure function of
+/// position — the property the robot hand-off ledger and the halo merge both
+/// lean on.
+///
+/// Columns are distributed as evenly as whole columns allow (tile t owns
+/// columns [t*C/K, (t+1)*C/K)); a request for more tiles than columns leaves
+/// the surplus tiles empty rather than splitting cells.
+class Topology {
+ public:
+  Topology(const geometry::Rect& bounds, double cell_size, std::size_t tiles)
+      : bounds_(bounds), cell_(cell_size), tiles_(tiles) {
+    if (tiles == 0) throw std::invalid_argument("shard::Topology: tiles must be >= 1");
+    if (cell_size <= 0.0) {
+      throw std::invalid_argument("shard::Topology: cell_size must be > 0");
+    }
+    const double width = bounds.max.x - bounds.min.x;
+    cols_ = width <= 0.0 ? 1
+                         : static_cast<std::size_t>(std::ceil(width / cell_size));
+    if (cols_ == 0) cols_ = 1;
+    // The [first_col(t), first_col(t+1)) ranges partition [0, cols_), so
+    // every column gets exactly one owner.
+    col_tile_.assign(cols_, 0);
+    for (std::size_t t = 0; t < tiles; ++t) {
+      const std::size_t lo = first_col(t);
+      const std::size_t hi = t + 1 == tiles ? cols_ : first_col(t + 1);
+      for (std::size_t c = lo; c < hi; ++c) col_tile_[c] = static_cast<std::uint32_t>(t);
+    }
+  }
+
+  [[nodiscard]] std::size_t tiles() const noexcept { return tiles_; }
+  [[nodiscard]] std::size_t columns() const noexcept { return cols_; }
+  [[nodiscard]] double cell_size() const noexcept { return cell_; }
+
+  /// First grid column owned by tile t (== columns() when t owns none).
+  [[nodiscard]] std::size_t first_col(std::size_t t) const noexcept {
+    return t * cols_ / tiles_;
+  }
+
+  /// X coordinate of tile t's left boundary — always a grid-cell edge.
+  [[nodiscard]] double boundary_x(std::size_t t) const noexcept {
+    return bounds_.min.x + static_cast<double>(first_col(t)) * cell_;
+  }
+
+  /// Owning tile of a position. Total: positions outside the bounds clamp to
+  /// the nearest column, so every point in the plane has exactly one owner.
+  [[nodiscard]] std::size_t tile_of(geometry::Vec2 pos) const noexcept {
+    double c = std::floor((pos.x - bounds_.min.x) / cell_);
+    if (!(c > 0.0)) c = 0.0;  // also catches NaN
+    std::size_t col = static_cast<std::size_t>(c);
+    if (col >= cols_) col = cols_ - 1;
+    return col_tile_[col];
+  }
+
+ private:
+  geometry::Rect bounds_;
+  double cell_;
+  std::size_t tiles_;
+  std::size_t cols_ = 1;
+  std::vector<std::uint32_t> col_tile_;
+};
+
+}  // namespace sensrep::shard

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# E21 sharded-execution scaling check.
+#
+# Runs the BM_ShardedTicks section of kernel_throughput (spatially sharded
+# tile-per-worker execution, args: sensors x shards), computes the 4-shard vs
+# 1-shard ticks-per-second speedup from the repetition medians, and fails if
+# it falls below --min-speedup. Both rows execute the bitwise-identical
+# simulation (tests/shard_test.cpp pins that), so the speedup isolates the
+# scheduler from the workload.
+#
+# The default gate is 1.0 — sharding must never be slower than sequential —
+# because the measurable speedup is a function of the runner's core count:
+# the E21 target of >= 2x at 1M sensors needs >= 4 real cores (see
+# EXPERIMENTS.md E21); CI runners vary, and a 1-core container serializes the
+# pool entirely. Pass --min-speedup 2.0 on hardware you control.
+#
+# Usage: check_shard_scaling.sh [--bench PATH] [--sensors N] [--out CSV]
+#                               [--min-speedup X]
+set -euo pipefail
+
+bench=build/bench/kernel_throughput
+sensors=1000000
+out=shard_scaling.csv
+min_speedup=1.0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bench) bench=$2; shift 2 ;;
+    --sensors) sensors=$2; shift 2 ;;
+    --out) out=$2; shift 2 ;;
+    --min-speedup) min_speedup=$2; shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+[[ -x $bench ]] || { echo "benchmark binary not found: $bench" >&2; exit 2; }
+
+"$bench" --benchmark_filter="BM_ShardedTicks/${sensors}/" \
+  --benchmark_min_time=0.01 --benchmark_repetitions=3 \
+  --benchmark_format=csv > "$out"
+
+# google-benchmark CSV: items_per_second (column 7) is executed-equivalent
+# events per second of sim.run() wall time, i.e. ticks/sec.
+one=$(awk -F, "/BM_ShardedTicks\/${sensors}\/1\/.*_median/ {gsub(/\"/,\"\"); print \$7}" "$out")
+two=$(awk -F, "/BM_ShardedTicks\/${sensors}\/2\/.*_median/ {gsub(/\"/,\"\"); print \$7}" "$out")
+four=$(awk -F, "/BM_ShardedTicks\/${sensors}\/4\/.*_median/ {gsub(/\"/,\"\"); print \$7}" "$out")
+[[ -n $one && -n $four ]] || { echo "could not parse medians from $out" >&2; exit 2; }
+
+awk -v s1="$one" -v s2="$two" -v s4="$four" -v n="$sensors" -v min="$min_speedup" 'BEGIN {
+  printf "ticks/sec at %d sensors: 1 shard %.0f, 2 shards %.0f, 4 shards %.0f\n", n, s1, s2, s4
+  speedup = s4 / s1
+  printf "4-shard speedup %.3fx (gate: >= %.2fx)\n", speedup, min
+  if (speedup < min) {
+    printf "FAIL: sharded execution below the %.2fx speedup floor\n", min
+    exit 1
+  }
+  print "OK: above the floor"
+}'
